@@ -1,0 +1,210 @@
+// Package trustnews benchmarks: one testing.B benchmark per experiment in
+// DESIGN.md's index (E1-E12). Each wraps the corresponding runner in
+// internal/experiments at a bench-friendly size; `go run ./cmd/benchrunner`
+// regenerates the full tables.
+package trustnews
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func BenchmarkE1PlatformPipeline(b *testing.B) {
+	cfg := experiments.DefaultE1()
+	cfg.Items, cfg.Voters = 10, 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2EcosystemEconomy(b *testing.B) {
+	cfg := experiments.DefaultE2()
+	cfg.Epochs, cfg.ItemsPerEpoch = 5, 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3ProcessSupplyChain(b *testing.B) {
+	cfg := experiments.DefaultE3()
+	cfg.Assets = 500
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4NewsSupplyChain(b *testing.B) {
+	cfg := experiments.E4Config{ItemCounts: []int{100, 1000, 10000}, Seed: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5RankingAccuracy(b *testing.B) {
+	cfg := experiments.DefaultE5()
+	cfg.Facts, cfg.WarmupItems, cfg.EvalItems, cfg.Voters = 30, 16, 30, 12
+	cfg.BiasedFracs = []float64{0, 0.45}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6Accountability(b *testing.B) {
+	cfg := experiments.E6Config{Depths: []int{4, 16}, Chains: 25, Seed: 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7Containment(b *testing.B) {
+	cfg := experiments.DefaultE7()
+	cfg.Net.Users, cfg.Net.Bots, cfg.Net.Cyborgs = 1200, 80, 40
+	cfg.Runs = 5
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8ExpertDiscovery(b *testing.B) {
+	cfg := experiments.DefaultE8()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9FactDBGrowth(b *testing.B) {
+	cfg := experiments.DefaultE9()
+	cfg.Items, cfg.Voters = 30, 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10ConsensusScalability(b *testing.B) {
+	cfg := experiments.DefaultE10()
+	cfg.ValidatorCounts = []int{4, 8}
+	cfg.Blocks = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE10Consensus(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10ParallelExecution(b *testing.B) {
+	cfg := experiments.DefaultE10()
+	cfg.ParallelTxs = 256
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE10Parallel(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11TextDetection(b *testing.B) {
+	cfg := experiments.DefaultE11()
+	cfg.Factual, cfg.Fake = 400, 400
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE11(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12MediaDetection(b *testing.B) {
+	cfg := experiments.DefaultE12()
+	cfg.Samples = 25
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE12(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13OutbreakPrediction(b *testing.B) {
+	cfg := experiments.DefaultE13()
+	cfg.Base.CascadesPerClass = 40
+	cfg.Windows = []int{2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE13(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14PersonalizedIntervention(b *testing.B) {
+	cfg := experiments.DefaultE14()
+	cfg.Net.Users, cfg.Net.Bots, cfg.Net.Cyborgs = 1200, 80, 40
+	cfg.Budgets = []int{60}
+	cfg.Runs = 5
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE14(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5WeightsAblation(b *testing.B) {
+	cfg := experiments.DefaultE5Weights()
+	cfg.Base.Facts, cfg.Base.WarmupItems, cfg.Base.EvalItems = 30, 16, 30
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE5Weights(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE15LightClient(b *testing.B) {
+	cfg := experiments.E15Config{Heights: []int{100}, TxsPerBlock: 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE15(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10Batching(b *testing.B) {
+	cfg := experiments.E10cConfig{BatchSizes: []int{64}, TotalTxs: 512, Seed: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE10Batching(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command newssim runs the standalone fake-news propagation simulator: a
+// follower network with bots and cyborgs, an independent-cascade spread,
+// and optional platform interventions. It prints the per-round reach of a
+// fake and a factual item side by side.
+//
+//	go run ./cmd/newssim -users 5000 -bots 300 -flag-delay 2 -demote
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/social"
+)
+
+func main() {
+	var (
+		users     = flag.Int("users", 4000, "regular users")
+		bots      = flag.Int("bots", 250, "bot accounts")
+		cyborgs   = flag.Int("cyborgs", 150, "cyborg accounts")
+		follows   = flag.Int("follows", 12, "average follows per user")
+		groups    = flag.Int("groups", 4, "homophily groups")
+		homophily = flag.Float64("homophily", 0.8, "in-group follow probability")
+		rounds    = flag.Int("rounds", 14, "cascade rounds")
+		seeds     = flag.Int("seeds", 8, "seed accounts per item")
+		flagDelay = flag.Int("flag-delay", -1, "platform flags fake after N rounds (-1 = never)")
+		demote    = flag.Bool("demote", false, "demote fake sources (accountability intervention)")
+		boost     = flag.Float64("factual-boost", 1.0, "trust-label share boost for factual items")
+		seed      = flag.Int64("seed", 1, "network generation seed")
+	)
+	flag.Parse()
+	if err := run(*users, *bots, *cyborgs, *follows, *groups, *homophily, *rounds, *seeds, *flagDelay, *demote, *boost, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "newssim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(users, bots, cyborgs, follows, groups int, homophily float64, rounds, seeds, flagDelay int, demote bool, boost float64, seed int64) error {
+	net, err := social.NewNetwork(social.Config{
+		Users: users, Bots: bots, Cyborgs: cyborgs,
+		AvgFollows: follows, Groups: groups, Homophily: homophily, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %d accounts (%d bots, %d cyborgs), homophily ratio %.2f\n",
+		net.Size(), bots, cyborgs, net.HomophilyRatio())
+
+	params := social.DefaultSpreadParams()
+	params.FlagDelay = flagDelay
+	params.FactualBoost = boost
+	fakeSeeds := net.BotSeeds(seeds)
+	factSeeds := net.RegularSeeds(seeds)
+	if demote {
+		for _, s := range fakeSeeds {
+			net.Demote(s)
+		}
+	}
+
+	fake, err := net.Spread(social.ItemFake, fakeSeeds, params, rounds, seed+100)
+	if err != nil {
+		return err
+	}
+	factual, err := net.Spread(social.ItemFactual, factSeeds, params, rounds, seed+200)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-6s %12s %12s\n", "round", "fake", "factual")
+	for r := 0; r <= rounds; r++ {
+		fv, tv := lastTotal(fake, r), lastTotal(factual, r)
+		fmt.Printf("%-6d %12d %12d\n", r, fv, tv)
+	}
+	fmt.Printf("\nfinal reach: fake=%d (%.1f%%) factual=%d (%.1f%%)",
+		fake.Reached, 100*float64(fake.Reached)/float64(net.Size()),
+		factual.Reached, 100*float64(factual.Reached)/float64(net.Size()))
+	if fake.Flagged {
+		fmt.Print("  [fake item was flagged]")
+	}
+	fmt.Println()
+	return nil
+}
+
+func lastTotal(res social.SpreadResult, round int) int {
+	if round < len(res.Steps) {
+		return res.Steps[round].Total
+	}
+	return res.Reached
+}

@@ -1,0 +1,65 @@
+// Command trustnewsd serves a trusting-news platform node over JSON/HTTP.
+// It boots a standalone node, trains the AI component, optionally seeds a
+// demo factual database, and listens.
+//
+//	go run ./cmd/trustnewsd -addr :8080 -seed-demo
+//
+// Then, for example:
+//
+//	curl localhost:8080/v1/chain
+//	curl localhost:8080/v1/facts
+//	curl localhost:8080/v1/experts?topic=politics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/aidetect"
+	"repro/internal/corpus"
+	"repro/internal/httpapi"
+	"repro/internal/platform"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seedDemo := flag.Bool("seed-demo", false, "seed a demo factual database")
+	corpusSeed := flag.Int64("corpus-seed", 1, "training corpus seed")
+	flag.Parse()
+	if err := run(*addr, *seedDemo, *corpusSeed); err != nil {
+		fmt.Fprintln(os.Stderr, "trustnewsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seedDemo bool, corpusSeed int64) error {
+	p, err := platform.New(platform.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	p.SetClock(time.Now) // live deployment: real block timestamps
+	gen := corpus.NewGenerator(corpusSeed)
+	if err := p.TrainClassifier(aidetect.NewLogisticRegression(), gen.Generate(500, 500).Statements); err != nil {
+		return err
+	}
+	if seedDemo {
+		for i := 0; i < 25; i++ {
+			s := gen.Factual()
+			if err := p.SeedFact(s.ID, s.Topic, s.Text); err != nil {
+				return err
+			}
+		}
+		log.Printf("seeded %d demo facts (root %s)", p.FactIndex().Len(), p.FactIndex().Root().Short())
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           httpapi.New(p, true),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("trustnewsd listening on %s (authority %s)", addr, p.Authority().Short())
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,84 @@
+// API-client example: boots a platform node with its JSON/HTTP gateway
+// in-process, then acts as a remote client would — signing transactions
+// locally and talking to the node only over HTTP.
+//
+//	go run ./examples/apiclient
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	trustnews "repro"
+	"repro/internal/httpapi"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/supplychain"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- node side -----------------------------------------------------
+	p, err := trustnews.NewPlatform(trustnews.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	gen := trustnews.NewCorpusGenerator(2)
+	if err := p.TrainClassifier(trustnews.NewNaiveBayes(), gen.Generate(300, 300).Statements); err != nil {
+		return err
+	}
+	const fact = "the central bank raised the interest rate per the published minutes"
+	if err := p.SeedFact("fact-1", trustnews.TopicEconomy, fact); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: httpapi.New(p, true), ReadHeaderTimeout: time.Second}
+	go srv.Serve(ln) // stopped when main exits; this is a demo process
+	base := "http://" + ln.Addr().String()
+	fmt.Println("node listening at", base)
+
+	// --- client side: keys never leave this side ------------------------
+	me := keys.FromSeed([]byte("api-client"))
+	payload, err := supplychain.PublishPayload("wire-1", trustnews.TopicEconomy, fact, nil, "")
+	if err != nil {
+		return err
+	}
+	tx, err := ledger.NewTx(me, 0, "news.publish", payload)
+	if err != nil {
+		return err
+	}
+	body, _ := json.Marshal(map[string]string{"txHex": hex.EncodeToString(tx.Encode())})
+	resp, err := http.Post(base+"/v1/tx", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("POST /v1/tx → %s %s\n", resp.Status, bytes.TrimSpace(out))
+
+	for _, path := range []string{"/v1/chain", "/v1/items/wire-1/rank", "/v1/items/wire-1/trace"} {
+		r, err := http.Get(base + path)
+		if err != nil {
+			return err
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		fmt.Printf("GET %s → %s\n", path, bytes.TrimSpace(b))
+	}
+	return srv.Close()
+}

@@ -1,0 +1,148 @@
+// Newsroom example: the full §V editorial scenario — a publisher stands up
+// a distribution platform with topic rooms, accredits journalists, drafts
+// move through review to publication, readers comment, crowd votes settle
+// the article's factualness, and correct voters earn tokens.
+//
+//	go run ./examples/newsroom
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+
+	trustnews "repro"
+	"repro/internal/newsroom"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p, err := trustnews.NewPlatform(trustnews.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	gen := trustnews.NewCorpusGenerator(7)
+	if err := p.TrainClassifier(trustnews.NewNaiveBayes(), gen.Generate(400, 400).Statements); err != nil {
+		return err
+	}
+
+	// 1. Identities: a publisher, two journalists, three readers.
+	publisher := p.NewActor("herald-publisher")
+	if err := publisher.Register("The Herald", trustnews.RolePublisher); err != nil {
+		return err
+	}
+	if err := p.VerifyAccount(publisher.Address()); err != nil {
+		return err
+	}
+	journalists := make([]*trustnews.Actor, 2)
+	for i := range journalists {
+		journalists[i] = p.NewActor("journalist-" + strconv.Itoa(i))
+		if err := journalists[i].Register("Reporter "+strconv.Itoa(i), trustnews.RoleCreator); err != nil {
+			return err
+		}
+		if err := p.VerifyAccount(journalists[i].Address()); err != nil {
+			return err
+		}
+	}
+	readers := make([]*trustnews.Actor, 3)
+	for i := range readers {
+		readers[i] = p.NewActor("reader-" + strconv.Itoa(i))
+		if err := readers[i].Register("Reader "+strconv.Itoa(i), trustnews.RoleConsumer); err != nil {
+			return err
+		}
+		if err := p.MintTo(readers[i].Address(), 500); err != nil {
+			return err
+		}
+	}
+	fmt.Println("registered: 1 publisher, 2 journalists, 3 readers")
+
+	// 2. Distribution platform with two themed rooms.
+	pl, _ := newsroom.CreatePlatformPayload("herald", "The Herald")
+	if _, err := publisher.MustExec("newsroom.createPlatform", pl); err != nil {
+		return err
+	}
+	r1, _ := newsroom.CreateRoomPayload("herald-politics", "herald", trustnews.TopicPolitics)
+	if _, err := publisher.MustExec("newsroom.createRoom", r1); err != nil {
+		return err
+	}
+	r2, _ := newsroom.CreateRoomPayload("herald-health", "herald", trustnews.TopicHealth)
+	if _, err := publisher.MustExec("newsroom.createRoom", r2); err != nil {
+		return err
+	}
+	for _, j := range journalists {
+		ac, _ := newsroom.AccreditPayload("herald", j.Address())
+		if _, err := publisher.MustExec("newsroom.accredit", ac); err != nil {
+			return err
+		}
+	}
+	fmt.Println("platform 'herald' created with politics and health rooms")
+
+	// 3. Editorial workflow: draft → submit → approve; one rejection.
+	story := gen.Factual()
+	d1, _ := newsroom.DraftPayload("story-1", "herald-politics", "Committee acts", story.Text,
+		"planning: committee session; interviews: two officials", nil)
+	if _, err := journalists[0].MustExec("newsroom.draft", d1); err != nil {
+		return err
+	}
+	act1, _ := newsroom.ArticleActPayload("story-1")
+	if _, err := journalists[0].MustExec("newsroom.submit", act1); err != nil {
+		return err
+	}
+	if _, err := publisher.MustExec("newsroom.approve", act1); err != nil {
+		return err
+	}
+	sloppy := gen.Fabricate()
+	d2, _ := newsroom.DraftPayload("story-2", "herald-politics", "Unsourced rumor", sloppy.Text, "", nil)
+	if _, err := journalists[1].MustExec("newsroom.draft", d2); err != nil {
+		return err
+	}
+	act2, _ := newsroom.ArticleActPayload("story-2")
+	if _, err := journalists[1].MustExec("newsroom.submit", act2); err != nil {
+		return err
+	}
+	if _, err := publisher.MustExec("newsroom.reject", act2); err != nil {
+		return err
+	}
+	a1, _ := newsroom.GetArticle(p.Engine(), publisher.Address(), "story-1")
+	a2, _ := newsroom.GetArticle(p.Engine(), publisher.Address(), "story-2")
+	fmt.Printf("story-1: %s | story-2: %s (editorial layer rejected the rumor)\n", a1.Status, a2.Status)
+
+	// 4. The published article becomes a supply-chain item readers vote on.
+	if err := journalists[0].PublishNews("story-1-item", story.Topic, story.Text, nil, ""); err != nil {
+		return err
+	}
+	if err := p.SeedFact("official-1", story.Topic, story.Text); err != nil {
+		return err
+	}
+	for i, r := range readers {
+		cm, _ := newsroom.CommentPayload("story-1", "comment "+strconv.Itoa(i))
+		if _, err := r.MustExec("newsroom.comment", cm); err != nil {
+			return err
+		}
+		if err := r.Vote("story-1-item", true, 50); err != nil {
+			return err
+		}
+	}
+	comments, err := newsroom.Comments(p.Engine(), publisher.Address(), "story-1")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("readers left %d comments and staked 50 tokens each on 'factual'\n", len(comments))
+
+	// 5. Resolution settles stakes and reputations.
+	rank, err := p.ResolveByRanking("story-1-item")
+	if err != nil {
+		return err
+	}
+	bal, _ := readers[0].Balance()
+	rep, _ := readers[0].Reputation()
+	fmt.Printf("resolved story-1-item: score=%.3f factual=%v; reader-0 balance=%d rep=%.2f\n",
+		rank.Score, rank.Factual, bal, rep)
+	fmt.Printf("chain height %d, factual db size %d\n", p.Chain().Height(), p.FactIndex().Len())
+	return nil
+}

@@ -1,0 +1,66 @@
+// Quickstart: stand up a trusting-news platform, seed a fact, publish a
+// real item and a doctored copy, and ask the platform which is which.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	trustnews "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p, err := trustnews.NewPlatform(trustnews.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	// Train the AI component on a synthetic labelled corpus.
+	gen := trustnews.NewCorpusGenerator(1)
+	if err := p.TrainClassifier(trustnews.NewLogisticRegression(), gen.Generate(400, 400).Statements); err != nil {
+		return err
+	}
+
+	// Ground truth: one official record in the factual database.
+	const fact = "the parliament ratified the border treaty in a public session"
+	if err := p.SeedFact("fact-1", trustnews.TopicPolitics, fact); err != nil {
+		return err
+	}
+
+	// A journalist publishes the fact; a troll publishes a doctored copy.
+	journalist := p.NewActor("journalist")
+	troll := p.NewActor("troll")
+	if err := journalist.PublishNews("real", trustnews.TopicPolitics, fact, nil, ""); err != nil {
+		return err
+	}
+	doctored := "SHOCKING the parliament secretly rejected the border treaty wake up"
+	if err := troll.PublishNews("doctored", trustnews.TopicPolitics, doctored, []string{"real"}, trustnews.OpNegate); err != nil {
+		return err
+	}
+
+	// Rank both with the paper's combined AI + trace + crowd mechanism.
+	for _, id := range []string{"real", "doctored"} {
+		rank, err := p.RankItem(id, trustnews.MechanismCombined)
+		if err != nil {
+			return err
+		}
+		verdict := "FACTUAL"
+		if !rank.Factual {
+			verdict = "FAKE"
+		}
+		fmt.Printf("%-9s score=%.3f → %-7s (ai fake-prob=%.2f, trace=%.2f via %v)\n",
+			id, rank.Score, verdict, rank.AIFakeProb, rank.Trace.Score, rank.Trace.Path)
+		if rank.Trace.Originator != "" {
+			fmt.Printf("          modification originated at account %s\n", rank.Trace.Originator[:12])
+		}
+	}
+	return nil
+}

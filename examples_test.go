@@ -1,0 +1,43 @@
+package trustnews
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example and CLI demo end to end; they are
+// the repository's living documentation, so they must not bit-rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds each")
+	}
+	cases := []struct {
+		name string
+		pkg  string
+		want []string // substrings the output must contain
+	}{
+		{"quickstart", "./examples/quickstart", []string{"FACTUAL", "FAKE", "originated"}},
+		{"newsroom", "./examples/newsroom", []string{"published", "rejected", "resolved story-1-item"}},
+		{"outbreak", "./examples/outbreak", []string{"without platform", "with platform", "originating account"}},
+		{"expertpanel", "./examples/expertpanel", []string{"dr-politics", "dr-health"}},
+		{"apiclient", "./examples/apiclient", []string{"POST /v1/tx", "rooted"}},
+		{"trustnews-cli", "./cmd/trustnews", []string{"FACTUAL", "FAKE", "originator of the modification"}},
+		{"newssim-cli", "./cmd/newssim", []string{"final reach"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", tc.pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", tc.pkg, err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Fatalf("%s output missing %q:\n%s", tc.pkg, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package aidetect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCaptureMediaSmooth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := CaptureMedia(rng, "img1", "cam1", 4096)
+	score, err := RoughnessScore(m.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score > 0.1 {
+		t.Fatalf("authentic roughness=%.3f; should be near 0", score)
+	}
+}
+
+func TestTamperRaisesRoughness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := CaptureMedia(rng, "img1", "cam1", 4096)
+	tampered := Tamper(m, 0.5, rng)
+	orig, _ := RoughnessScore(m.Data)
+	tamp, _ := RoughnessScore(tampered.Data)
+	if tamp <= orig {
+		t.Fatalf("tampered roughness %.3f <= original %.3f", tamp, orig)
+	}
+}
+
+func TestTamperPreservesOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := CaptureMedia(rng, "img1", "cam1", 1024)
+	before := ContentHash(m.Data)
+	Tamper(m, 0.9, rng)
+	if ContentHash(m.Data) != before {
+		t.Fatal("Tamper mutated its input")
+	}
+}
+
+func TestTamperZeroStrengthIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := CaptureMedia(rng, "img1", "cam1", 1024)
+	out := Tamper(m, 0, rng)
+	if ContentHash(out.Data) != ContentHash(m.Data) {
+		t.Fatal("zero-strength tamper changed content")
+	}
+}
+
+func TestReferenceDetectionCatchesAnyEdit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := CaptureMedia(rng, "img1", "cam1", 4096)
+	ref := ContentHash(m.Data)
+	ph, err := ComputePHash(m.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Authentic copy passes.
+	tampered, dist, err := VerifyAgainstReference(m, ref, ph)
+	if err != nil || tampered || dist != 0 {
+		t.Fatalf("authentic flagged: tampered=%v dist=%d err=%v", tampered, dist, err)
+	}
+	// Even a single-byte edit is caught.
+	edited := Media{ID: m.ID, DeviceID: m.DeviceID, Data: append([]byte{}, m.Data...)}
+	edited.Data[100] ^= 1
+	tampered, _, err = VerifyAgainstReference(edited, ref, ph)
+	if err != nil || !tampered {
+		t.Fatalf("single-byte edit not caught: %v %v", tampered, err)
+	}
+}
+
+func TestPHashLocalizesHeavyTamper(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := CaptureMedia(rng, "img1", "cam1", 8192)
+	ph, _ := ComputePHash(m.Data)
+	heavy := Tamper(m, 0.6, rng)
+	ph2, _ := ComputePHash(heavy.Data)
+	if ph.Distance(ph2) == 0 {
+		t.Fatal("heavy tamper left phash unchanged")
+	}
+}
+
+func TestPHashDistanceSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := CaptureMedia(rng, "img1", "cam1", 2048)
+	ph, _ := ComputePHash(m.Data)
+	if ph.Distance(ph) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+}
+
+func TestBlindDetectorROCOrdering(t *testing.T) {
+	// Detector score must increase monotonically (on average) with tamper
+	// strength — the E12 curve's shape.
+	rng := rand.New(rand.NewSource(8))
+	det := NewMediaDetector()
+	avg := func(strength float64) float64 {
+		var sum float64
+		for i := 0; i < 30; i++ {
+			m := CaptureMedia(rng, "x", "cam", 4096)
+			tm := Tamper(m, strength, rng)
+			s, err := det.Score(tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += s
+		}
+		return sum / 30
+	}
+	s0, s02, s05, s09 := avg(0), avg(0.2), avg(0.5), avg(0.9)
+	if !(s0 < s02 && s02 < s05 && s05 < s09) {
+		t.Fatalf("scores not increasing: %f %f %f %f", s0, s02, s05, s09)
+	}
+	if s0 > 0.05 {
+		t.Fatalf("false-positive rate proxy %.3f too high", s0)
+	}
+	if s09 < 0.5 {
+		t.Fatalf("strong tamper score %.3f too low", s09)
+	}
+}
+
+func TestMediaTooSmall(t *testing.T) {
+	small := Media{Data: make([]byte, 10)}
+	if _, err := NewMediaDetector().Score(small); err == nil {
+		t.Fatal("want error for tiny media")
+	}
+	if _, err := ComputePHash(small.Data); err == nil {
+		t.Fatal("want error for tiny phash input")
+	}
+	if _, err := RoughnessScore(small.Data); err == nil {
+		t.Fatal("want error for tiny roughness input")
+	}
+}
+
+func TestPHashEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := CaptureMedia(rng, "x", "cam", 1024)
+	ph, _ := ComputePHash(m.Data)
+	got, err := DecodePHash(EncodePHash(ph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ph {
+		t.Fatal("phash round trip failed")
+	}
+	if _, err := DecodePHash([]byte{1, 2}); err == nil {
+		t.Fatal("want error for short phash")
+	}
+}
+
+// Property: detector score is always in [0,1] and any tampered copy of a
+// capture differs in content hash when strength > 0 produced actual writes.
+func TestMediaDetectorRangeProperty(t *testing.T) {
+	det := NewMediaDetector()
+	f := func(seed int64, strengthPct uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := CaptureMedia(rng, "x", "cam", 2048)
+		tm := Tamper(m, float64(strengthPct%101)/100, rng)
+		s, err := det.Score(tm)
+		if err != nil {
+			return false
+		}
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMediaDetector(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := CaptureMedia(rng, "x", "cam", 1<<16)
+	det := NewMediaDetector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Score(m)
+	}
+}

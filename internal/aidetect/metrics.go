@@ -1,0 +1,111 @@
+package aidetect
+
+import (
+	"sort"
+
+	"repro/internal/corpus"
+)
+
+// Evaluation summarizes binary-classification quality at a 0.5 threshold
+// plus threshold-free AUC.
+type Evaluation struct {
+	Accuracy  float64 `json:"accuracy"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	AUC       float64 `json:"auc"`
+	N         int     `json:"n"`
+}
+
+// Evaluate scores every test statement and computes metrics treating
+// "fake" as the positive class.
+func Evaluate(c TextClassifier, test []corpus.Statement) (Evaluation, error) {
+	scores := make([]float64, len(test))
+	labels := make([]bool, len(test))
+	for i, s := range test {
+		sc, err := c.Score(s.Text)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		scores[i] = sc
+		labels[i] = s.IsFake()
+	}
+	return Metrics(scores, labels), nil
+}
+
+// Metrics computes evaluation metrics from raw scores and labels.
+func Metrics(scores []float64, labels []bool) Evaluation {
+	var tp, fp, tn, fn int
+	for i, s := range scores {
+		pred := s >= 0.5
+		switch {
+		case pred && labels[i]:
+			tp++
+		case pred && !labels[i]:
+			fp++
+		case !pred && labels[i]:
+			fn++
+		default:
+			tn++
+		}
+	}
+	ev := Evaluation{N: len(scores)}
+	if len(scores) > 0 {
+		ev.Accuracy = float64(tp+tn) / float64(len(scores))
+	}
+	if tp+fp > 0 {
+		ev.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		ev.Recall = float64(tp) / float64(tp+fn)
+	}
+	if ev.Precision+ev.Recall > 0 {
+		ev.F1 = 2 * ev.Precision * ev.Recall / (ev.Precision + ev.Recall)
+	}
+	ev.AUC = auc(scores, labels)
+	return ev
+}
+
+// auc computes the area under the ROC curve by the rank statistic
+// (equivalent to the Mann-Whitney U), with tie correction.
+func auc(scores []float64, labels []bool) float64 {
+	type pair struct {
+		s   float64
+		pos bool
+	}
+	ps := make([]pair, len(scores))
+	npos, nneg := 0, 0
+	for i := range scores {
+		ps[i] = pair{scores[i], labels[i]}
+		if labels[i] {
+			npos++
+		} else {
+			nneg++
+		}
+	}
+	if npos == 0 || nneg == 0 {
+		return 0
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	// Assign average ranks to ties.
+	ranks := make([]float64, len(ps))
+	for i := 0; i < len(ps); {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var rankSum float64
+	for i, p := range ps {
+		if p.pos {
+			rankSum += ranks[i]
+		}
+	}
+	u := rankSum - float64(npos)*(float64(npos)+1)/2
+	return u / (float64(npos) * float64(nneg))
+}

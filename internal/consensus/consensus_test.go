@@ -1,0 +1,574 @@
+package consensus
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/simnet"
+)
+
+func submitTxs(t testing.TB, c *Cluster, count int) {
+	t.Helper()
+	sender := keys.FromSeed([]byte("client"))
+	for i := 0; i < count; i++ {
+		tx, err := ledger.NewTx(sender, uint64(i), "news.publish", []byte("item-"+strconv.Itoa(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SubmitAll(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValidatorSetBasics(t *testing.T) {
+	if _, err := NewValidatorSet(nil); err != ErrEmptyValidatorSet {
+		t.Fatalf("want ErrEmptyValidatorSet, got %v", err)
+	}
+	kp := keys.FromSeed([]byte("v"))
+	set, err := NewValidatorSet([]Validator{{ID: "a", Addr: kp.Address(), Pub: kp.Public(), Power: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.TotalPower() != 3 || set.QuorumPower() != 3 {
+		t.Fatalf("power=%d quorum=%d", set.TotalPower(), set.QuorumPower())
+	}
+}
+
+func TestValidatorSetRejectsZeroPower(t *testing.T) {
+	kp := keys.FromSeed([]byte("v"))
+	if _, err := NewValidatorSet([]Validator{{ID: "a", Addr: kp.Address(), Pub: kp.Public(), Power: 0}}); err == nil {
+		t.Fatal("want error for zero power")
+	}
+}
+
+func TestQuorumPowerIsStrictTwoThirds(t *testing.T) {
+	mk := func(n int) *ValidatorSet {
+		vals := make([]Validator, n)
+		for i := range vals {
+			kp := keys.FromSeed([]byte("q" + strconv.Itoa(i)))
+			vals[i] = Validator{ID: simnet.NodeID("n" + strconv.Itoa(i)), Addr: kp.Address(), Pub: kp.Public(), Power: 1}
+		}
+		s, err := NewValidatorSet(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := map[int]int64{3: 3, 4: 3, 7: 5, 10: 7}
+	for n, want := range cases {
+		if got := mk(n).QuorumPower(); got != want {
+			t.Errorf("n=%d quorum=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestProposerRotationDeterministicAndCovering(t *testing.T) {
+	c, err := NewCluster(4, 1, DefaultTimeouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[keys.Address]bool)
+	for h := uint64(0); h < 40; h++ {
+		p1 := c.Set.Proposer(h, 0)
+		p2 := c.Set.Proposer(h, 0)
+		if p1.Addr != p2.Addr {
+			t.Fatal("proposer not deterministic")
+		}
+		seen[p1.Addr] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("rotation covered %d of 4 validators", len(seen))
+	}
+}
+
+func TestVoteSignVerify(t *testing.T) {
+	c, _ := NewCluster(4, 1, DefaultTimeouts())
+	v := Vote{Type: VotePrevote, Height: 1, Round: 0, Voter: c.Keys[0].Address()}
+	SignVote(&v, c.Keys[0])
+	if err := VerifyVote(&v, c.Set); err != nil {
+		t.Fatal(err)
+	}
+	v.Round = 1 // tamper
+	if err := VerifyVote(&v, c.Set); err == nil {
+		t.Fatal("want verification failure after tamper")
+	}
+	outsider := keys.FromSeed([]byte("outsider"))
+	v2 := Vote{Type: VotePrevote, Height: 1, Voter: outsider.Address()}
+	SignVote(&v2, outsider)
+	if err := VerifyVote(&v2, c.Set); err == nil {
+		t.Fatal("want rejection of non-validator vote")
+	}
+}
+
+func TestVoteSetEquivocationDetected(t *testing.T) {
+	vs := newVoteSet()
+	voter := keys.FromSeed([]byte("x")).Address()
+	v1 := Vote{Type: VotePrevote, Height: 1, BlockID: ledger.BlockID{1}, Voter: voter}
+	v2 := Vote{Type: VotePrevote, Height: 1, BlockID: ledger.BlockID{2}, Voter: voter}
+	if err := vs.add(v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.add(v1, 1); err != nil {
+		t.Fatal("duplicate identical vote must be tolerated")
+	}
+	if err := vs.add(v2, 1); err == nil {
+		t.Fatal("want equivocation error")
+	}
+	if vs.totalPower() != 1 {
+		t.Fatalf("power=%d; duplicates must not double-count", vs.totalPower())
+	}
+}
+
+func TestHappyPathCommits(t *testing.T) {
+	c, err := NewCluster(4, 7, DefaultTimeouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitTxs(t, c, 20)
+	c.Start()
+	c.RunUntilHeight(3, 30*time.Second)
+	if got := c.MinHeight(); got < 3 {
+		t.Fatalf("min height=%d want >=3", got)
+	}
+	for h := uint64(0); h < 3; h++ {
+		if !c.AgreeAt(h) {
+			t.Fatalf("divergence at height %d", h)
+		}
+	}
+}
+
+func TestCommittedBlocksCarryTransactions(t *testing.T) {
+	c, _ := NewCluster(4, 3, DefaultTimeouts())
+	submitTxs(t, c, 5)
+	c.Start()
+	c.RunUntilHeight(1, 30*time.Second)
+	b, err := c.Apps[0].Chain.BlockAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Txs) != 5 {
+		t.Fatalf("block carried %d txs, want 5", len(b.Txs))
+	}
+	// All mempools drained on every node that committed.
+	for i, app := range c.Apps {
+		if app.Chain.Height() >= 1 && app.Pool.Size() != 0 {
+			t.Fatalf("node %d mempool size %d after commit", i, app.Pool.Size())
+		}
+	}
+}
+
+func TestProgressWithOneCrashedValidator(t *testing.T) {
+	c, _ := NewCluster(4, 11, DefaultTimeouts())
+	submitTxs(t, c, 10)
+	c.Nodes[3].Stop() // f=1 of n=4
+	c.Start()
+	c.RunUntilHeight(2, 60*time.Second)
+	if got := c.MinHeight(); got < 2 {
+		t.Fatalf("min live height=%d want >=2 with one crash", got)
+	}
+}
+
+func TestNoProgressWithTwoCrashedOfFour(t *testing.T) {
+	c, _ := NewCluster(4, 13, DefaultTimeouts())
+	submitTxs(t, c, 10)
+	c.Nodes[2].Stop()
+	c.Nodes[3].Stop() // 2 > f: quorum unreachable
+	c.Start()
+	c.RunUntilHeight(1, 5*time.Second)
+	if got := c.MinHeight(); got != 0 {
+		t.Fatalf("height=%d; must not commit without quorum", got)
+	}
+}
+
+func TestSafetyUnderPartition(t *testing.T) {
+	c, _ := NewCluster(4, 17, DefaultTimeouts())
+	submitTxs(t, c, 10)
+	// Split 2-2: neither side has quorum, so no commits may happen.
+	c.Net.Partition([]simnet.NodeID{"v0", "v1"}, []simnet.NodeID{"v2", "v3"})
+	c.Start()
+	c.RunUntilHeight(1, 3*time.Second)
+	if got := c.MinHeight(); got != 0 {
+		t.Fatalf("committed during 2-2 partition: height=%d", got)
+	}
+	// Heal: progress resumes and everyone agrees.
+	c.Net.Heal()
+	c.RunUntilHeight(1, 120*time.Second)
+	if got := c.MinHeight(); got < 1 {
+		t.Fatalf("no progress after heal: height=%d", got)
+	}
+	if !c.AgreeAt(0) {
+		t.Fatal("divergence after partition heal")
+	}
+}
+
+func TestSafetyWithEquivocator(t *testing.T) {
+	// 4 validators, one replaced by an equivocator: honest nodes must
+	// still agree on every committed height.
+	net := simnet.New(23)
+	kps := make([]*keys.KeyPair, 4)
+	vals := make([]Validator, 4)
+	for i := range kps {
+		kps[i] = keys.FromSeed([]byte("validator-" + strconv.Itoa(i)))
+		vals[i] = Validator{ID: simnet.NodeID("v" + strconv.Itoa(i)), Addr: kps[i].Address(), Pub: kps[i].Public(), Power: 1}
+	}
+	set, err := NewValidatorSet(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*Node
+	var apps []*ChainApp
+	for i := 0; i < 3; i++ {
+		app := &ChainApp{Chain: ledger.NewMemChain(), Proposer: kps[i].Address()}
+		app.Pool = ledger.NewMempool(app.Chain, 0)
+		n := NewNode(vals[i].ID, kps[i], set, net, app, DefaultTimeouts())
+		if err := n.Bind(); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		apps = append(apps, app)
+	}
+	eq := NewEquivocator(vals[3].ID, kps[3], set, net)
+	if err := eq.Bind(); err != nil {
+		t.Fatal(err)
+	}
+	client := keys.FromSeed([]byte("client"))
+	for i := 0; i < 6; i++ {
+		tx, _ := ledger.NewTx(client, uint64(i), "k", []byte{byte(i)})
+		for _, app := range apps {
+			app.Pool.Add(tx)
+		}
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	net.RunWhile(func() bool {
+		for _, app := range apps {
+			if app.Chain.Height() < 1 {
+				return net.Now() < 120*time.Second
+			}
+		}
+		return false
+	})
+	// Honest quorum is 3 of 4; equivocator can delay but not block or split.
+	var ref ledger.BlockID
+	committed := 0
+	for _, app := range apps {
+		if app.Chain.Height() >= 1 {
+			b, _ := app.Chain.BlockAt(0)
+			if committed == 0 {
+				ref = b.ID()
+			} else if b.ID() != ref {
+				t.Fatal("SAFETY VIOLATION: honest nodes committed different blocks")
+			}
+			committed++
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no honest node committed despite honest quorum")
+	}
+	// Equivocation must be observed by at least one honest node.
+	evidence := 0
+	for _, n := range nodes {
+		evidence += n.Metrics().Equivocations
+	}
+	if evidence == 0 {
+		t.Fatal("equivocation went undetected")
+	}
+}
+
+func TestLaggardCatchesUpViaCommitCert(t *testing.T) {
+	c, _ := NewCluster(4, 29, DefaultTimeouts())
+	submitTxs(t, c, 30)
+	// v3 is on a slow, lossy link.
+	for _, other := range []simnet.NodeID{"v0", "v1", "v2"} {
+		c.Net.SetLink(other, "v3", simnet.LinkConfig{BaseLatency: 60 * time.Millisecond, Jitter: 40 * time.Millisecond, LossRate: 0.3})
+		c.Net.SetLink("v3", other, simnet.LinkConfig{BaseLatency: 60 * time.Millisecond, Jitter: 40 * time.Millisecond, LossRate: 0.3})
+	}
+	c.Start()
+	c.RunUntilHeight(3, 240*time.Second)
+	if got := c.Apps[3].Chain.Height(); got < 1 {
+		t.Fatalf("laggard height=%d; commit certs should let it catch up", got)
+	}
+	for h := uint64(0); h < c.Apps[3].Chain.Height(); h++ {
+		if !c.AgreeAt(h) {
+			t.Fatalf("laggard diverged at height %d", h)
+		}
+	}
+}
+
+func TestCommitCertVerification(t *testing.T) {
+	c, _ := NewCluster(4, 31, DefaultTimeouts())
+	blk := ledger.NewBlock(0, ledger.BlockID{}, [32]byte{}, time.Unix(0, 0).UTC(), c.Keys[0].Address(), nil)
+	id := blk.ID()
+	mkVote := func(i int) Vote {
+		v := Vote{Type: VotePrecommit, Height: 0, Round: 0, BlockID: id, Voter: c.Keys[i].Address()}
+		SignVote(&v, c.Keys[i])
+		return v
+	}
+	good := &Commit{Height: 0, Block: blk, Quorum: []Vote{mkVote(0), mkVote(1), mkVote(2)}}
+	if err := VerifyCommit(good, c.Set); err != nil {
+		t.Fatalf("valid cert rejected: %v", err)
+	}
+	short := &Commit{Height: 0, Block: blk, Quorum: []Vote{mkVote(0), mkVote(1)}}
+	if err := VerifyCommit(short, c.Set); err == nil {
+		t.Fatal("2-of-4 cert must fail")
+	}
+	dup := &Commit{Height: 0, Block: blk, Quorum: []Vote{mkVote(0), mkVote(0), mkVote(1)}}
+	if err := VerifyCommit(dup, c.Set); err == nil {
+		t.Fatal("duplicate-voter cert must fail")
+	}
+	wrong := &Commit{Height: 1, Block: blk, Quorum: []Vote{mkVote(0), mkVote(1), mkVote(2)}}
+	if err := VerifyCommit(wrong, c.Set); err == nil {
+		t.Fatal("height-mismatch cert must fail")
+	}
+}
+
+func TestPoACommitsFast(t *testing.T) {
+	net := simnet.New(41)
+	kps := make([]*keys.KeyPair, 4)
+	vals := make([]Validator, 4)
+	for i := range kps {
+		kps[i] = keys.FromSeed([]byte("validator-" + strconv.Itoa(i)))
+		vals[i] = Validator{ID: simnet.NodeID("v" + strconv.Itoa(i)), Addr: kps[i].Address(), Pub: kps[i].Public(), Power: 1}
+	}
+	set, _ := NewValidatorSet(vals)
+	var nodes []*PoANode
+	var apps []*ChainApp
+	for i := 0; i < 4; i++ {
+		app := &ChainApp{Chain: ledger.NewMemChain(), Proposer: kps[i].Address(), AllowEmpty: true}
+		app.Pool = ledger.NewMempool(app.Chain, 0)
+		n := NewPoANode(vals[i].ID, kps[i], set, net, app, 50*time.Millisecond)
+		if err := n.Bind(); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		apps = append(apps, app)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	net.RunWhile(func() bool {
+		done := true
+		for _, app := range apps {
+			if app.Chain.Height() < 5 {
+				done = false
+			}
+		}
+		return !done && net.Now() < 60*time.Second
+	})
+	for i, app := range apps {
+		if app.Chain.Height() < 5 {
+			t.Fatalf("poa node %d height=%d", i, app.Chain.Height())
+		}
+	}
+	// All agree.
+	ref, _ := apps[0].Chain.BlockAt(4)
+	for _, app := range apps[1:] {
+		b, _ := app.Chain.BlockAt(4)
+		if b.ID() != ref.ID() {
+			t.Fatal("poa divergence")
+		}
+	}
+}
+
+func TestBFTScalesAcrossValidatorCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-size consensus run")
+	}
+	for _, n := range []int{4, 7, 10} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			c, err := NewCluster(n, int64(n), DefaultTimeouts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			submitTxs(t, c, 10)
+			c.Start()
+			c.RunUntilHeight(2, 120*time.Second)
+			if got := c.MinHeight(); got < 2 {
+				t.Fatalf("n=%d min height=%d", n, got)
+			}
+			for h := uint64(0); h < 2; h++ {
+				if !c.AgreeAt(h) {
+					t.Fatalf("divergence at h=%d", h)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBFTCommit(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("validators=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c, err := NewCluster(n, int64(i), DefaultTimeouts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sender := keys.FromSeed([]byte("client"))
+				for j := 0; j < 10; j++ {
+					tx, _ := ledger.NewTx(sender, uint64(j), "k", []byte{byte(j)})
+					c.SubmitAll(tx)
+				}
+				c.Start()
+				b.StartTimer()
+				c.RunUntilHeight(1, 60*time.Second)
+				if c.MinHeight() < 1 {
+					b.Fatal("no commit")
+				}
+			}
+		})
+	}
+}
+
+func TestProgressWithDelayedValidator(t *testing.T) {
+	// One honest-but-slow validator (wrapped in DelayedNode) must not
+	// prevent the cluster from committing, and must still converge.
+	net := simnet.New(51)
+	kps := make([]*keys.KeyPair, 4)
+	vals := make([]Validator, 4)
+	for i := range kps {
+		kps[i] = keys.FromSeed([]byte("validator-" + strconv.Itoa(i)))
+		vals[i] = Validator{ID: simnet.NodeID("v" + strconv.Itoa(i)), Addr: kps[i].Address(), Pub: kps[i].Public(), Power: 1}
+	}
+	set, err := NewValidatorSet(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apps []*ChainApp
+	var nodes []*Node
+	for i := 0; i < 4; i++ {
+		app := &ChainApp{Chain: ledger.NewMemChain(), Proposer: kps[i].Address(), AllowEmpty: true}
+		app.Pool = ledger.NewMempool(app.Chain, 0)
+		node := NewNode(vals[i].ID, kps[i], set, net, app, DefaultTimeouts())
+		if i == 3 {
+			d := NewDelayedNode(node, net, vals[i].ID, 150*time.Millisecond)
+			if err := d.Bind(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := node.Bind(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		apps = append(apps, app)
+		nodes = append(nodes, node)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	net.RunWhile(func() bool {
+		fast := 0
+		for i := 0; i < 3; i++ {
+			if apps[i].Chain.Height() >= 2 {
+				fast++
+			}
+		}
+		return fast < 3 && net.Now() < 5*time.Minute
+	})
+	for i := 0; i < 3; i++ {
+		if apps[i].Chain.Height() < 2 {
+			t.Fatalf("fast node %d stalled at %d", i, apps[i].Chain.Height())
+		}
+	}
+	// No divergence between any nodes that share a height.
+	for h := uint64(0); h < 2; h++ {
+		var ref ledger.BlockID
+		seen := false
+		for _, app := range apps {
+			b, err := app.Chain.BlockAt(h)
+			if err != nil {
+				continue
+			}
+			if !seen {
+				ref, seen = b.ID(), true
+				continue
+			}
+			if b.ID() != ref {
+				t.Fatalf("divergence at height %d with delayed node", h)
+			}
+		}
+	}
+}
+
+func TestLateJoinerSyncsViaBlockSync(t *testing.T) {
+	// Validator v3 is in the set but offline (no-op handler) while the
+	// others commit several heights; when it comes online it must backfill
+	// every missed block through sync requests and converge.
+	net := simnet.New(61)
+	kps := make([]*keys.KeyPair, 4)
+	vals := make([]Validator, 4)
+	for i := range kps {
+		kps[i] = keys.FromSeed([]byte("validator-" + strconv.Itoa(i)))
+		vals[i] = Validator{ID: simnet.NodeID("v" + strconv.Itoa(i)), Addr: kps[i].Address(), Pub: kps[i].Public(), Power: 1}
+	}
+	set, err := NewValidatorSet(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := make([]*ChainApp, 4)
+	nodes := make([]*Node, 4)
+	for i := 0; i < 4; i++ {
+		apps[i] = &ChainApp{Chain: ledger.NewMemChain(), Proposer: kps[i].Address(), AllowEmpty: true}
+		apps[i].Pool = ledger.NewMempool(apps[i].Chain, 0)
+		nodes[i] = NewNode(vals[i].ID, kps[i], set, net, apps[i], DefaultTimeouts())
+	}
+	for i := 0; i < 3; i++ {
+		if err := nodes[i].Bind(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// v3 offline: swallow everything.
+	if err := net.AddNode("v3", func(simnet.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		nodes[i].Start()
+	}
+	const missed = 4
+	net.RunWhile(func() bool {
+		for i := 0; i < 3; i++ {
+			if apps[i].Chain.Height() < missed {
+				return net.Now() < 2*time.Minute
+			}
+		}
+		return false
+	})
+	if apps[0].Chain.Height() < missed {
+		t.Fatalf("live nodes stalled at %d", apps[0].Chain.Height())
+	}
+
+	// v3 comes online at height 0.
+	if err := net.SetHandler("v3", nodes[3].Handle); err != nil {
+		t.Fatal(err)
+	}
+	nodes[3].Start()
+	target := apps[0].Chain.Height()
+	net.RunWhile(func() bool {
+		return apps[3].Chain.Height() < target && net.Now() < 6*time.Minute
+	})
+	if apps[3].Chain.Height() < target {
+		t.Fatalf("late joiner stuck at %d, want %d", apps[3].Chain.Height(), target)
+	}
+	// Same blocks everywhere.
+	for h := uint64(0); h < target; h++ {
+		ref, err := apps[0].Chain.BlockAt(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := apps[3].Chain.BlockAt(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID() != ref.ID() {
+			t.Fatalf("late joiner diverged at height %d", h)
+		}
+	}
+}

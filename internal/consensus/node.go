@@ -1,0 +1,540 @@
+package consensus
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/simnet"
+)
+
+// App is the application driven by consensus: it builds blocks to propose,
+// validates proposed blocks, and applies committed blocks. The blockchain
+// node (internal/platform) implements it over a mempool and chain.
+type App interface {
+	// ProposeBlock assembles the block to propose at the given height.
+	ProposeBlock(height uint64) (*ledger.Block, error)
+	// ValidateBlock checks a proposed block against application rules.
+	ValidateBlock(b *ledger.Block) error
+	// CommitBlock applies a decided block. It must not fail for a block
+	// that passed ValidateBlock against the same state.
+	CommitBlock(b *ledger.Block) error
+}
+
+// Timeouts configures the per-step timeouts. Each escalating round adds
+// Delta to the base timeout, per the Tendermint algorithm.
+type Timeouts struct {
+	Propose   time.Duration
+	Prevote   time.Duration
+	Precommit time.Duration
+	Delta     time.Duration
+}
+
+// DefaultTimeouts suits the default simnet LAN profile.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{
+		Propose:   80 * time.Millisecond,
+		Prevote:   60 * time.Millisecond,
+		Precommit: 60 * time.Millisecond,
+		Delta:     40 * time.Millisecond,
+	}
+}
+
+// Metrics aggregates per-node consensus counters.
+type Metrics struct {
+	Committed     uint64
+	Rounds        int
+	Equivocations int
+	CommitLatency time.Duration // cumulative height start -> commit
+	lastHeightAt  time.Duration
+}
+
+// Node is one BFT consensus participant. Construct with NewNode, register
+// its network handler with Bind, then Start it. All methods run on the
+// simnet event loop (single-threaded), so no internal locking is needed.
+type Node struct {
+	id  simnet.NodeID
+	kp  *keys.KeyPair
+	set *ValidatorSet
+	net *simnet.Network
+	app App
+	tmo Timeouts
+
+	height uint64
+	round  int
+	step   Step
+
+	locked      *ledger.Block
+	lockedRound int
+	valid       *ledger.Block
+	validRound  int
+
+	proposals map[uint64]map[int]*Proposal // height -> round -> proposal
+	prevotes  map[uint64]map[int]*voteSet
+	precommit map[uint64]map[int]*voteSet
+	blocks    map[ledger.BlockID]*ledger.Block
+
+	// future buffers messages for heights we have not reached yet; they
+	// are replayed after each height advance. Without this, a node that
+	// commits late would drop the next height's proposal forever.
+	future []simnet.Message
+
+	// certs retains the commit certificates this node produced or
+	// received, keyed by height, so it can serve block sync to validators
+	// that join (or recover) late.
+	certs map[uint64]*Commit
+	// syncRequested tracks the last height we asked a peer to backfill,
+	// to avoid flooding duplicate requests.
+	syncRequested uint64
+
+	metrics Metrics
+	stopped bool
+}
+
+// KindSyncRequest asks a peer for the commit certificate of one height.
+const KindSyncRequest = "consensus.syncreq"
+
+// syncRequest is the payload of KindSyncRequest.
+type syncRequest struct {
+	Height uint64
+}
+
+// maxFutureBuffer bounds the future-message queue per node.
+const maxFutureBuffer = 1 << 14
+
+// NewNode creates a consensus node for the validator identified by kp.
+func NewNode(id simnet.NodeID, kp *keys.KeyPair, set *ValidatorSet, net *simnet.Network, app App, tmo Timeouts) *Node {
+	return &Node{
+		id:          id,
+		kp:          kp,
+		set:         set,
+		net:         net,
+		app:         app,
+		tmo:         tmo,
+		lockedRound: -1,
+		validRound:  -1,
+		proposals:   make(map[uint64]map[int]*Proposal),
+		prevotes:    make(map[uint64]map[int]*voteSet),
+		precommit:   make(map[uint64]map[int]*voteSet),
+		blocks:      make(map[ledger.BlockID]*ledger.Block),
+		certs:       make(map[uint64]*Commit),
+	}
+}
+
+// Bind registers the node's message handler on the network.
+func (n *Node) Bind() error {
+	return n.net.AddNode(n.id, n.Handle)
+}
+
+// Metrics returns a copy of the node's counters.
+func (n *Node) Metrics() Metrics { return n.metrics }
+
+// Height returns the next height to be decided.
+func (n *Node) Height() uint64 { return n.height }
+
+// Stop makes the node ignore all further events (simulates a crash).
+func (n *Node) Stop() { n.stopped = true }
+
+// Start enters the first height/round.
+func (n *Node) Start() {
+	n.metrics.lastHeightAt = n.net.Now()
+	n.startRound(0)
+}
+
+func (n *Node) startRound(round int) {
+	n.round = round
+	n.step = StepPropose
+	n.metrics.Rounds++
+	proposer := n.set.Proposer(n.height, round)
+	if proposer.Addr == n.kp.Address() {
+		block := n.valid
+		pol := n.validRound
+		if block == nil {
+			b, err := n.app.ProposeBlock(n.height)
+			if err != nil || b == nil {
+				// Nothing to propose: let the round time out so liveness
+				// is preserved by round escalation.
+				n.scheduleProposeTimeout(round)
+				return
+			}
+			block = b
+			pol = -1
+		}
+		p := &Proposal{Height: n.height, Round: round, POLRound: pol, Block: block, Proposer: n.kp.Address()}
+		SignProposal(p, n.kp)
+		n.broadcast(KindProposal, p)
+		n.onProposal(p) // deliver to self
+		return
+	}
+	n.scheduleProposeTimeout(round)
+	// Messages for this round may already have arrived while we were in a
+	// previous round; act on them now.
+	n.recheckQuorums()
+}
+
+func (n *Node) scheduleProposeTimeout(round int) {
+	h := n.height
+	n.net.After(n.id, n.tmo.Propose+time.Duration(round)*n.tmo.Delta, func() {
+		if n.stopped || n.height != h || n.round != round || n.step != StepPropose {
+			return
+		}
+		n.signVote(VotePrevote, ledger.BlockID{}) // prevote nil
+		n.step = StepPrevote
+		n.schedulePrevoteTimeout(round)
+	})
+}
+
+func (n *Node) schedulePrevoteTimeout(round int) {
+	h := n.height
+	n.net.After(n.id, n.tmo.Prevote+time.Duration(round)*n.tmo.Delta, func() {
+		if n.stopped || n.height != h || n.round != round || n.step != StepPrevote {
+			return
+		}
+		n.signVote(VotePrecommit, ledger.BlockID{})
+		n.step = StepPrecommit
+		n.schedulePrecommitTimeout(round)
+	})
+}
+
+func (n *Node) schedulePrecommitTimeout(round int) {
+	h := n.height
+	n.net.After(n.id, n.tmo.Precommit+time.Duration(round)*n.tmo.Delta, func() {
+		if n.stopped || n.height != h || n.round != round {
+			return
+		}
+		n.startRound(round + 1)
+	})
+}
+
+func (n *Node) broadcast(kind string, payload any) {
+	for _, v := range n.set.Members() {
+		if v.ID == n.id {
+			continue
+		}
+		// Losses surface as timeouts; Send only errors on unknown nodes.
+		_ = n.net.Send(n.id, v.ID, kind, payload)
+	}
+}
+
+func (n *Node) signVote(t VoteType, id ledger.BlockID) {
+	v := Vote{Type: t, Height: n.height, Round: n.round, BlockID: id, Voter: n.kp.Address()}
+	SignVote(&v, n.kp)
+	n.broadcast(KindVote, v)
+	n.onVote(v) // count own vote
+}
+
+// messageHeight extracts the consensus height of a message, or false for
+// non-consensus payloads.
+func messageHeight(m simnet.Message) (uint64, bool) {
+	switch p := m.Payload.(type) {
+	case *Proposal:
+		return p.Height, true
+	case Vote:
+		return p.Height, true
+	case *Commit:
+		return p.Height, true
+	default:
+		return 0, false
+	}
+}
+
+// Handle processes an incoming network message.
+func (n *Node) Handle(m simnet.Message) {
+	if n.stopped {
+		return
+	}
+	if h, ok := messageHeight(m); ok && h > n.height {
+		if len(n.future) < maxFutureBuffer {
+			n.future = append(n.future, m)
+		}
+		// We are behind: ask the sender to backfill our current height.
+		// The guard keeps it to one request per height.
+		if n.syncRequested <= n.height && m.From != n.id {
+			n.syncRequested = n.height + 1
+			_ = n.net.Send(n.id, m.From, KindSyncRequest, syncRequest{Height: n.height})
+		}
+		return
+	}
+	if m.Kind == KindSyncRequest {
+		if req, ok := m.Payload.(syncRequest); ok {
+			if cert := n.certs[req.Height]; cert != nil {
+				_ = n.net.Send(n.id, m.From, KindCommit, cert)
+			}
+		}
+		return
+	}
+	switch m.Kind {
+	case KindProposal:
+		p, ok := m.Payload.(*Proposal)
+		if !ok {
+			return
+		}
+		n.onProposal(p)
+	case KindVote:
+		v, ok := m.Payload.(Vote)
+		if !ok {
+			return
+		}
+		n.onVote(v)
+	case KindCommit:
+		c, ok := m.Payload.(*Commit)
+		if !ok {
+			return
+		}
+		n.onCommit(c)
+	}
+}
+
+func (n *Node) onProposal(p *Proposal) {
+	if p.Height != n.height {
+		return
+	}
+	if VerifyProposal(p, n.set) != nil {
+		return
+	}
+	if n.set.Proposer(p.Height, p.Round).Addr != p.Proposer {
+		return // not the legitimate proposer for that round
+	}
+	rounds, ok := n.proposals[p.Height]
+	if !ok {
+		rounds = make(map[int]*Proposal)
+		n.proposals[p.Height] = rounds
+	}
+	if _, dup := rounds[p.Round]; dup {
+		return
+	}
+	rounds[p.Round] = p
+	n.blocks[p.Block.ID()] = p.Block
+	n.tryPrevote()
+	n.recheckQuorums()
+}
+
+// tryPrevote runs the Tendermint prevote rules for the current round if a
+// proposal is available and we are still in the propose step.
+func (n *Node) tryPrevote() {
+	if n.step != StepPropose {
+		return
+	}
+	p := n.proposalAt(n.height, n.round)
+	if p == nil {
+		return
+	}
+	id := p.Block.ID()
+	appOK := n.app.ValidateBlock(p.Block) == nil
+
+	prevoteID := ledger.BlockID{} // nil unless rules allow
+	switch {
+	case p.POLRound == -1:
+		// Fresh proposal: prevote it if valid and we are not locked on a
+		// different value.
+		if appOK && (n.lockedRound == -1 || (n.locked != nil && n.locked.ID() == id)) {
+			prevoteID = id
+		}
+	case p.POLRound >= 0 && p.POLRound < n.round:
+		// Re-proposal with a proof-of-lock: need 2/3 prevotes at POLRound.
+		vs := n.prevoteSet(n.height, p.POLRound)
+		if qid, ok := vs.quorumFor(n.set.QuorumPower()); ok && qid == id {
+			if appOK && (n.lockedRound <= p.POLRound || (n.locked != nil && n.locked.ID() == id)) {
+				prevoteID = id
+			}
+		} else {
+			return // wait for the POL prevotes to arrive
+		}
+	default:
+		return
+	}
+	n.step = StepPrevote
+	n.signVote(VotePrevote, prevoteID)
+	n.schedulePrevoteTimeout(n.round)
+}
+
+func (n *Node) proposalAt(h uint64, r int) *Proposal {
+	if rounds, ok := n.proposals[h]; ok {
+		return rounds[r]
+	}
+	return nil
+}
+
+func (n *Node) prevoteSet(h uint64, r int) *voteSet {
+	rounds, ok := n.prevotes[h]
+	if !ok {
+		rounds = make(map[int]*voteSet)
+		n.prevotes[h] = rounds
+	}
+	vs, ok := rounds[r]
+	if !ok {
+		vs = newVoteSet()
+		rounds[r] = vs
+	}
+	return vs
+}
+
+func (n *Node) precommitSet(h uint64, r int) *voteSet {
+	rounds, ok := n.precommit[h]
+	if !ok {
+		rounds = make(map[int]*voteSet)
+		n.precommit[h] = rounds
+	}
+	vs, ok := rounds[r]
+	if !ok {
+		vs = newVoteSet()
+		rounds[r] = vs
+	}
+	return vs
+}
+
+func (n *Node) onVote(v Vote) {
+	if v.Height != n.height {
+		return
+	}
+	if VerifyVote(&v, n.set) != nil {
+		return
+	}
+	val, _ := n.set.ByAddr(v.Voter)
+	var vs *voteSet
+	if v.Type == VotePrevote {
+		vs = n.prevoteSet(v.Height, v.Round)
+	} else {
+		vs = n.precommitSet(v.Height, v.Round)
+	}
+	if err := vs.add(v, val.Power); err != nil {
+		n.metrics.Equivocations++
+		return
+	}
+	n.recheckQuorums()
+}
+
+// recheckQuorums applies the quorum-driven transitions for the current
+// height. It is called after every proposal or vote arrival.
+func (n *Node) recheckQuorums() {
+	quorum := n.set.QuorumPower()
+
+	// A proposal that was waiting for its proof-of-lock prevotes may become
+	// actionable once those prevotes arrive.
+	n.tryPrevote()
+
+	// A prevote quorum in the current round while in prevote step.
+	if n.step == StepPrevote {
+		vs := n.prevoteSet(n.height, n.round)
+		if id, ok := vs.quorumFor(quorum); ok {
+			if id.IsZero() {
+				n.step = StepPrecommit
+				n.signVote(VotePrecommit, ledger.BlockID{})
+				n.schedulePrecommitTimeout(n.round)
+			} else if b := n.blocks[id]; b != nil {
+				n.locked = b
+				n.lockedRound = n.round
+				n.valid = b
+				n.validRound = n.round
+				n.step = StepPrecommit
+				n.signVote(VotePrecommit, id)
+				n.schedulePrecommitTimeout(n.round)
+			}
+		} else if vs.totalPower() >= quorum {
+			// 2/3 of mixed prevotes: schedule the prevote timeout path by
+			// leaving the existing timer to fire.
+			_ = vs
+		}
+	}
+
+	// Track valid value even outside prevote step (e.g. precommit step).
+	for r := 0; r <= n.round; r++ {
+		vs := n.prevoteSet(n.height, r)
+		if id, ok := vs.quorumFor(quorum); ok && !id.IsZero() {
+			if b := n.blocks[id]; b != nil && r > n.validRound {
+				n.valid = b
+				n.validRound = r
+			}
+		}
+	}
+
+	// A precommit quorum for a block in any round commits it.
+	for r := 0; r <= n.round; r++ {
+		vs := n.precommitSet(n.height, r)
+		if id, ok := vs.quorumFor(quorum); ok && !id.IsZero() {
+			if b := n.blocks[id]; b != nil {
+				n.commit(b, vs.votesFor(id))
+				return
+			}
+		}
+	}
+
+	// A precommit quorum of nil (or mixed reaching 2/3) in the current
+	// round lets the precommit timeout advance the round; nothing to do
+	// eagerly here.
+}
+
+func (n *Node) commit(b *ledger.Block, quorum []Vote) {
+	if err := n.app.CommitBlock(b); err != nil {
+		// The application rejected a decided block: this is a programming
+		// error in the App (Validate passed earlier); halt this node to
+		// avoid divergence rather than panicking the whole process.
+		n.stopped = true
+		return
+	}
+	n.metrics.Committed++
+	now := n.net.Now()
+	n.metrics.CommitLatency += now - n.metrics.lastHeightAt
+	n.metrics.lastHeightAt = now
+
+	// Help laggards catch up, and retain the certificate for block sync.
+	cert := &Commit{Height: n.height, Block: b, Quorum: quorum}
+	n.certs[n.height] = cert
+	n.broadcast(KindCommit, cert)
+
+	n.advanceHeight()
+}
+
+func (n *Node) advanceHeight() {
+	delete(n.proposals, n.height)
+	delete(n.prevotes, n.height)
+	delete(n.precommit, n.height)
+	n.height++
+	n.locked = nil
+	n.lockedRound = -1
+	n.valid = nil
+	n.validRound = -1
+	n.blocks = make(map[ledger.BlockID]*ledger.Block)
+	n.startRound(0)
+	n.replayFuture()
+}
+
+// replayFuture re-dispatches buffered messages that are now current.
+func (n *Node) replayFuture() {
+	if len(n.future) == 0 {
+		return
+	}
+	pending := n.future
+	n.future = nil
+	for _, m := range pending {
+		if n.stopped {
+			return
+		}
+		n.Handle(m)
+	}
+}
+
+func (n *Node) onCommit(c *Commit) {
+	if c.Height != n.height {
+		return
+	}
+	if err := VerifyCommit(c, n.set); err != nil {
+		return
+	}
+	if err := n.app.CommitBlock(c.Block); err != nil {
+		n.stopped = true
+		return
+	}
+	n.certs[c.Height] = c
+	n.metrics.Committed++
+	now := n.net.Now()
+	n.metrics.CommitLatency += now - n.metrics.lastHeightAt
+	n.metrics.lastHeightAt = now
+	n.advanceHeight()
+}
+
+// String describes the node's position for debugging.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s@h%d/r%d/%s", n.id, n.height, n.round, n.step)
+}

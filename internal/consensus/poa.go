@@ -1,0 +1,142 @@
+package consensus
+
+import (
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/simnet"
+)
+
+// PoA message kinds.
+const (
+	KindPoABlock = "poa.block"
+)
+
+// poaMsg is a signed block announcement.
+type poaMsg struct {
+	Height   uint64
+	Block    *ledger.Block
+	Proposer keys.Address
+	Sig      []byte
+}
+
+// PoANode is the proof-of-authority baseline: the round-robin leader signs
+// and broadcasts a block; followers verify the leader signature and commit
+// immediately. One network hop per block, no votes, and therefore no
+// Byzantine fault tolerance — experiment E10 contrasts its cost with BFT.
+type PoANode struct {
+	id       simnet.NodeID
+	kp       *keys.KeyPair
+	set      *ValidatorSet
+	net      *simnet.Network
+	app      App
+	interval time.Duration
+
+	height  uint64
+	metrics Metrics
+	stopped bool
+}
+
+// NewPoANode creates a PoA participant. interval is the leader's block
+// production period.
+func NewPoANode(id simnet.NodeID, kp *keys.KeyPair, set *ValidatorSet, net *simnet.Network, app App, interval time.Duration) *PoANode {
+	return &PoANode{id: id, kp: kp, set: set, net: net, app: app, interval: interval}
+}
+
+// Bind registers the node's handler on the network.
+func (n *PoANode) Bind() error { return n.net.AddNode(n.id, n.Handle) }
+
+// Metrics returns the node's counters.
+func (n *PoANode) Metrics() Metrics { return n.metrics }
+
+// Height returns the next height to be decided.
+func (n *PoANode) Height() uint64 { return n.height }
+
+// Stop halts the node.
+func (n *PoANode) Stop() { n.stopped = true }
+
+// Start schedules the first production slot.
+func (n *PoANode) Start() {
+	n.metrics.lastHeightAt = n.net.Now()
+	n.scheduleSlot()
+}
+
+func (n *PoANode) scheduleSlot() {
+	n.net.After(n.id, n.interval, func() {
+		if n.stopped {
+			return
+		}
+		n.produceIfLeader()
+		n.scheduleSlot()
+	})
+}
+
+func (n *PoANode) produceIfLeader() {
+	leader := n.set.Proposer(n.height, 0)
+	if leader.Addr != n.kp.Address() {
+		return
+	}
+	b, err := n.app.ProposeBlock(n.height)
+	if err != nil || b == nil {
+		return
+	}
+	msg := &poaMsg{Height: n.height, Block: b, Proposer: n.kp.Address()}
+	msg.Sig = n.kp.Sign(poaSignBytes(msg))
+	for _, v := range n.set.Members() {
+		if v.ID == n.id {
+			continue
+		}
+		_ = n.net.Send(n.id, v.ID, KindPoABlock, msg)
+	}
+	n.commit(b)
+}
+
+func poaSignBytes(m *poaMsg) []byte {
+	id := m.Block.ID()
+	out := make([]byte, 0, 8+len(id)+keys.AddressSize)
+	for i := 7; i >= 0; i-- {
+		out = append(out, byte(m.Height>>(8*i)))
+	}
+	out = append(out, id[:]...)
+	out = append(out, m.Proposer[:]...)
+	return out
+}
+
+// Handle processes an incoming block announcement.
+func (n *PoANode) Handle(m simnet.Message) {
+	if n.stopped {
+		return
+	}
+	msg, ok := m.Payload.(*poaMsg)
+	if !ok || m.Kind != KindPoABlock {
+		return
+	}
+	if msg.Height != n.height {
+		return
+	}
+	leader := n.set.Proposer(msg.Height, 0)
+	if leader.Addr != msg.Proposer {
+		return
+	}
+	val, ok := n.set.ByAddr(msg.Proposer)
+	if !ok || keys.Verify(val.Pub, poaSignBytes(msg), msg.Sig) != nil {
+		return
+	}
+	if n.app.ValidateBlock(msg.Block) != nil {
+		return
+	}
+	n.commit(msg.Block)
+}
+
+func (n *PoANode) commit(b *ledger.Block) {
+	if err := n.app.CommitBlock(b); err != nil {
+		n.stopped = true
+		return
+	}
+	n.metrics.Committed++
+	now := n.net.Now()
+	n.metrics.CommitLatency += now - n.metrics.lastHeightAt
+	n.metrics.lastHeightAt = now
+	n.height++
+}

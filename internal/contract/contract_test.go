@@ -1,0 +1,533 @@
+package contract
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/ledger"
+)
+
+// counterContract is a minimal test contract: "add" increments a named
+// counter by the first payload byte, "get" returns its value, "boom"
+// panics, "burn" loops until out of gas.
+type counterContract struct{}
+
+func (counterContract) Name() string { return "counter" }
+
+func (counterContract) Execute(ctx *Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "add":
+		name, delta, err := parseAdd(args)
+		if err != nil {
+			return nil, err
+		}
+		cur := uint64(0)
+		if raw, err := ctx.Get(name); err == nil {
+			cur = binary.BigEndian.Uint64(raw)
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], cur+delta)
+		if err := ctx.Put(name, buf[:]); err != nil {
+			return nil, err
+		}
+		if err := ctx.Emit("added", map[string]string{"name": name}); err != nil {
+			return nil, err
+		}
+		return buf[:], nil
+	case "get":
+		return ctx.Get(string(args))
+	case "sum":
+		// Reads every counter: a whole-namespace read for conflict tests.
+		names, err := ctx.Keys("")
+		if err != nil {
+			return nil, err
+		}
+		var sum uint64
+		for _, n := range names {
+			raw, err := ctx.Get(n)
+			if err != nil {
+				return nil, err
+			}
+			sum += binary.BigEndian.Uint64(raw)
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], sum)
+		return buf[:], nil
+	case "boom":
+		panic("intentional test panic")
+	case "burn":
+		for {
+			if err := ctx.Put("x", make([]byte, 1024)); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrUnknownMethod, method)
+	}
+}
+
+func parseAdd(args []byte) (string, uint64, error) {
+	parts := strings.SplitN(string(args), ":", 2)
+	if len(parts) != 2 {
+		return "", 0, errors.New("counter: want name:delta")
+	}
+	d, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return "", 0, err
+	}
+	return parts[0], d, nil
+}
+
+// spyContract records that it ran, to test namespacing.
+type spyContract struct{}
+
+func (spyContract) Name() string { return "spy" }
+func (spyContract) Execute(ctx *Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "peek":
+		return ctx.Get(string(args))
+	case "put":
+		return nil, ctx.Put("k", []byte("spy-value"))
+	default:
+		return nil, ErrUnknownMethod
+	}
+}
+
+func newTestEngine(t testing.TB) *Engine {
+	t.Helper()
+	e := NewEngine()
+	if err := e.Register(counterContract{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(spyContract{}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func execTx(t testing.TB, e *Engine, kp *keys.KeyPair, nonce uint64, kind, payload string) Receipt {
+	t.Helper()
+	tx, err := ledger.NewTx(kp, nonce, kind, []byte(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.ExecuteTx(tx, 1)
+}
+
+func TestExecuteRoutesAndWrites(t *testing.T) {
+	e := newTestEngine(t)
+	kp := keys.FromSeed([]byte("alice"))
+	rec := execTx(t, e, kp, 0, "counter.add", "hits:5")
+	if !rec.OK {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	if binary.BigEndian.Uint64(rec.Result) != 5 {
+		t.Fatalf("result=%v", rec.Result)
+	}
+	rec2 := execTx(t, e, kp, 1, "counter.add", "hits:3")
+	if binary.BigEndian.Uint64(rec2.Result) != 8 {
+		t.Fatalf("cumulative result=%v", rec2.Result)
+	}
+}
+
+func TestUnknownContractAndMethod(t *testing.T) {
+	e := newTestEngine(t)
+	kp := keys.FromSeed([]byte("a"))
+	rec := execTx(t, e, kp, 0, "ghost.do", "")
+	if rec.OK || !strings.Contains(rec.Err, "unknown contract") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	rec2 := execTx(t, e, kp, 1, "counter.nosuch", "")
+	if rec2.OK || !strings.Contains(rec2.Err, "unknown method") {
+		t.Fatalf("receipt: %+v", rec2)
+	}
+}
+
+func TestMalformedKind(t *testing.T) {
+	e := newTestEngine(t)
+	kp := keys.FromSeed([]byte("a"))
+	for _, kind := range []string{"nomethod", ".lead", "trail."} {
+		rec := execTx(t, e, kp, 0, kind, "")
+		if rec.OK {
+			t.Fatalf("kind %q accepted", kind)
+		}
+	}
+}
+
+func TestFailedTxWritesNothing(t *testing.T) {
+	e := newTestEngine(t)
+	kp := keys.FromSeed([]byte("a"))
+	execTx(t, e, kp, 0, "counter.add", "hits:5")
+	// "boom" panics after nothing; "burn" writes then runs out of gas.
+	rec := execTx(t, e, kp, 1, "counter.burn", "")
+	if rec.OK {
+		t.Fatal("burn must fail")
+	}
+	if !strings.Contains(rec.Err, "out of gas") {
+		t.Fatalf("err=%s", rec.Err)
+	}
+	// The partial writes from burn must not be visible.
+	out, err := e.Query(kp.Address(), "counter.get", []byte("x"))
+	if err == nil {
+		t.Fatalf("burn's writes leaked: %v", out)
+	}
+	// And the original counter survives.
+	got, err := e.Query(kp.Address(), "counter.get", []byte("hits"))
+	if err != nil || binary.BigEndian.Uint64(got) != 5 {
+		t.Fatalf("counter corrupted: %v %v", got, err)
+	}
+}
+
+func TestPanicIsolated(t *testing.T) {
+	e := newTestEngine(t)
+	kp := keys.FromSeed([]byte("a"))
+	rec := execTx(t, e, kp, 0, "counter.boom", "")
+	if rec.OK || !strings.Contains(rec.Err, "panicked") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	// Engine still functions.
+	rec2 := execTx(t, e, kp, 1, "counter.add", "ok:1")
+	if !rec2.OK {
+		t.Fatalf("engine broken after panic: %+v", rec2)
+	}
+}
+
+func TestGasAccounting(t *testing.T) {
+	e := newTestEngine(t)
+	kp := keys.FromSeed([]byte("a"))
+	rec := execTx(t, e, kp, 0, "counter.add", "hits:1")
+	// add = Get(10) + Put(25+8) + Emit(5) = 48.
+	if rec.GasUsed != 48 {
+		t.Fatalf("gas=%d want 48", rec.GasUsed)
+	}
+}
+
+func TestGasLimitEnforced(t *testing.T) {
+	e := newTestEngine(t)
+	e.SetGasLimit(30)
+	kp := keys.FromSeed([]byte("a"))
+	rec := execTx(t, e, kp, 0, "counter.add", "hits:1")
+	if rec.OK || !strings.Contains(rec.Err, "out of gas") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	if rec.GasUsed != 30 {
+		t.Fatalf("gas=%d want capped at 30", rec.GasUsed)
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	e := newTestEngine(t)
+	kp := keys.FromSeed([]byte("a"))
+	execTx(t, e, kp, 0, "counter.add", "hits:9")
+	// spy.peek("hits") must not see counter's key.
+	if _, err := e.Query(kp.Address(), "spy.peek", []byte("hits")); err == nil {
+		t.Fatal("cross-contract read must fail")
+	}
+}
+
+func TestEventsRecorded(t *testing.T) {
+	e := newTestEngine(t)
+	kp := keys.FromSeed([]byte("a"))
+	rec := execTx(t, e, kp, 0, "counter.add", "hits:2")
+	if len(rec.Events) != 1 || rec.Events[0].Type != "added" || rec.Events[0].Attrs["name"] != "hits" {
+		t.Fatalf("events=%+v", rec.Events)
+	}
+	if rec.Events[0].Contract != "counter" {
+		t.Fatalf("event contract=%s", rec.Events[0].Contract)
+	}
+}
+
+func TestQueryDiscardsWrites(t *testing.T) {
+	e := newTestEngine(t)
+	kp := keys.FromSeed([]byte("a"))
+	if _, err := e.Query(kp.Address(), "spy.put", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(kp.Address(), "spy.peek", []byte("k")); err == nil {
+		t.Fatal("query writes must not persist")
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	e := NewEngine()
+	if err := e.Register(counterContract{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(counterContract{}); !errors.Is(err, ErrDuplicateContract) {
+		t.Fatalf("want ErrDuplicateContract, got %v", err)
+	}
+}
+
+func TestStateRootChangesWithState(t *testing.T) {
+	e := newTestEngine(t)
+	r0, err := e.StateRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r0.IsZero() {
+		t.Fatal("empty state root must be zero")
+	}
+	kp := keys.FromSeed([]byte("a"))
+	execTx(t, e, kp, 0, "counter.add", "hits:1")
+	r1, _ := e.StateRoot()
+	if r1.IsZero() || r1 == r0 {
+		t.Fatal("state root must change after a write")
+	}
+	execTx(t, e, kp, 1, "counter.add", "hits:1")
+	r2, _ := e.StateRoot()
+	if r2 == r1 {
+		t.Fatal("state root must change after second write")
+	}
+}
+
+func TestStateRootDeterministicAcrossEngines(t *testing.T) {
+	build := func() *Engine {
+		e := NewEngine()
+		e.Register(counterContract{})
+		kp := keys.FromSeed([]byte("a"))
+		for i := 0; i < 10; i++ {
+			tx, _ := ledger.NewTx(kp, uint64(i), "counter.add", []byte("c"+strconv.Itoa(i%3)+":1"))
+			e.ExecuteTx(tx, 1)
+		}
+		return e
+	}
+	r1, _ := build().StateRoot()
+	r2, _ := build().StateRoot()
+	if r1 != r2 {
+		t.Fatal("state root not deterministic")
+	}
+}
+
+func blockOf(t testing.TB, txs []*ledger.Tx) *ledger.Block {
+	t.Helper()
+	return ledger.NewBlock(1, ledger.BlockID{}, [32]byte{}, time.Unix(0, 0).UTC(), keys.Address{}, txs)
+}
+
+func TestParallelMatchesSerialDisjointKeys(t *testing.T) {
+	mkTxs := func() []*ledger.Tx {
+		var txs []*ledger.Tx
+		for i := 0; i < 50; i++ {
+			kp := keys.FromSeed([]byte("user" + strconv.Itoa(i)))
+			tx, _ := ledger.NewTx(kp, 0, "counter.add", []byte("c"+strconv.Itoa(i)+":1"))
+			txs = append(txs, tx)
+		}
+		return txs
+	}
+	serial := newTestEngine(t)
+	serialRecs := serial.ExecuteBlock(blockOf(t, mkTxs()))
+	par := newTestEngine(t)
+	parRecs, stats := par.ExecuteBlockParallel(blockOf(t, mkTxs()), 8)
+	if stats.Conflicts != 0 {
+		t.Fatalf("disjoint keys produced %d conflicts", stats.Conflicts)
+	}
+	rs, _ := serial.StateRoot()
+	rp, _ := par.StateRoot()
+	if rs != rp {
+		t.Fatal("parallel state diverges from serial")
+	}
+	for i := range serialRecs {
+		if serialRecs[i].OK != parRecs[i].OK {
+			t.Fatalf("receipt %d diverges", i)
+		}
+	}
+}
+
+func TestParallelMatchesSerialWithConflicts(t *testing.T) {
+	mkTxs := func() []*ledger.Tx {
+		var txs []*ledger.Tx
+		for i := 0; i < 40; i++ {
+			kp := keys.FromSeed([]byte("user" + strconv.Itoa(i)))
+			// Everyone hammers the same counter: total conflicts.
+			tx, _ := ledger.NewTx(kp, 0, "counter.add", []byte("shared:1"))
+			txs = append(txs, tx)
+		}
+		return txs
+	}
+	serial := newTestEngine(t)
+	serial.ExecuteBlock(blockOf(t, mkTxs()))
+	par := newTestEngine(t)
+	_, stats := par.ExecuteBlockParallel(blockOf(t, mkTxs()), 8)
+	if stats.Conflicts == 0 {
+		t.Fatal("expected conflicts on a shared counter")
+	}
+	rs, _ := serial.StateRoot()
+	rp, _ := par.StateRoot()
+	if rs != rp {
+		t.Fatal("parallel state diverges from serial under conflicts")
+	}
+	// The shared counter must equal 40 — conflicts must not lose updates.
+	kp := keys.FromSeed([]byte("user0"))
+	out, err := par.Query(kp.Address(), "counter.get", []byte("shared"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint64(out); got != 40 {
+		t.Fatalf("shared=%d want 40 (lost updates)", got)
+	}
+}
+
+func TestParallelPrefixReadConflicts(t *testing.T) {
+	// A "sum" tx reads the whole namespace, so any concurrent writer
+	// conflicts with it; result must equal serial execution.
+	var txs []*ledger.Tx
+	for i := 0; i < 10; i++ {
+		kp := keys.FromSeed([]byte("w" + strconv.Itoa(i)))
+		tx, _ := ledger.NewTx(kp, 0, "counter.add", []byte("k"+strconv.Itoa(i)+":2"))
+		txs = append(txs, tx)
+	}
+	reader := keys.FromSeed([]byte("reader"))
+	sumTx, _ := ledger.NewTx(reader, 0, "counter.sum", nil)
+	txs = append(txs, sumTx)
+
+	serial := newTestEngine(t)
+	sRecs := serial.ExecuteBlock(blockOf(t, txs))
+	par := newTestEngine(t)
+	pRecs, _ := par.ExecuteBlockParallel(blockOf(t, txs), 4)
+	sSum := binary.BigEndian.Uint64(sRecs[len(sRecs)-1].Result)
+	pSum := binary.BigEndian.Uint64(pRecs[len(pRecs)-1].Result)
+	if sSum != 20 || pSum != 20 {
+		t.Fatalf("sum serial=%d parallel=%d want 20", sSum, pSum)
+	}
+}
+
+// Property: parallel execution always produces the same state root and
+// receipt outcomes as serial execution, for random workloads mixing shared
+// and private counters.
+func TestParallelEquivalenceProperty(t *testing.T) {
+	f := func(plan []uint8) bool {
+		if len(plan) > 64 {
+			plan = plan[:64]
+		}
+		mk := func() []*ledger.Tx {
+			var txs []*ledger.Tx
+			for i, p := range plan {
+				kp := keys.FromSeed([]byte("u" + strconv.Itoa(i)))
+				key := "shared"
+				if p%3 == 0 {
+					key = "private" + strconv.Itoa(i)
+				}
+				tx, _ := ledger.NewTx(kp, 0, "counter.add", []byte(key+":"+strconv.Itoa(int(p%7)+1)))
+				txs = append(txs, tx)
+			}
+			return txs
+		}
+		serial := NewEngine()
+		serial.Register(counterContract{})
+		sRecs := serial.ExecuteBlock(blockOf(t, mk()))
+		par := NewEngine()
+		par.Register(counterContract{})
+		pRecs, _ := par.ExecuteBlockParallel(blockOf(t, mk()), 8)
+		rs, _ := serial.StateRoot()
+		rp, _ := par.StateRoot()
+		if rs != rp {
+			return false
+		}
+		for i := range sRecs {
+			if sRecs[i].OK != pRecs[i].OK {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSerialVsParallel(b *testing.B) {
+	mkTxs := func(n int, conflictPct int) []*ledger.Tx {
+		txs := make([]*ledger.Tx, n)
+		for i := 0; i < n; i++ {
+			kp := keys.FromSeed([]byte("u" + strconv.Itoa(i)))
+			key := "k" + strconv.Itoa(i)
+			if i%100 < conflictPct {
+				key = "shared"
+			}
+			tx, _ := ledger.NewTx(kp, 0, "counter.add", []byte(key+":1"))
+			txs[i] = tx
+		}
+		return txs
+	}
+	for _, mode := range []string{"serial", "parallel"} {
+		for _, conflictPct := range []int{0, 20, 80} {
+			b.Run(fmt.Sprintf("%s/conflict=%d%%", mode, conflictPct), func(b *testing.B) {
+				txs := mkTxs(256, conflictPct)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					e := NewEngine()
+					e.Register(counterContract{})
+					blk := blockOf(b, txs)
+					b.StartTimer()
+					if mode == "serial" {
+						e.ExecuteBlock(blk)
+					} else {
+						e.ExecuteBlockParallel(blk, 0)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestQueryUnknownContract(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Query(keys.FromSeed([]byte("a")).Address(), "ghost.method", nil); err == nil {
+		t.Fatal("want error for unknown contract")
+	}
+	if _, err := e.Query(keys.FromSeed([]byte("a")).Address(), "malformed", nil); err == nil {
+		t.Fatal("want error for malformed kind")
+	}
+}
+
+func TestGetExternalReadsOtherNamespace(t *testing.T) {
+	e := newTestEngine(t)
+	kp := keys.FromSeed([]byte("a"))
+	execTx(t, e, kp, 0, "counter.add", "shared:7")
+	// spyContract.peek uses ctx.Get (own namespace); verify GetExternal
+	// via a bespoke contract.
+	if err := e.Register(xreadContract{}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Query(kp.Address(), "xread.peek", []byte("counter/shared"))
+	if err != nil {
+		t.Fatalf("cross-contract read: %v", err)
+	}
+	if binary.BigEndian.Uint64(out) != 7 {
+		t.Fatalf("out=%v", out)
+	}
+}
+
+// xreadContract reads an absolute "<contract>/<key>" path via GetExternal.
+type xreadContract struct{}
+
+func (xreadContract) Name() string { return "xread" }
+func (xreadContract) Execute(ctx *Context, method string, args []byte) ([]byte, error) {
+	parts := strings.SplitN(string(args), "/", 2)
+	if len(parts) != 2 {
+		return nil, errors.New("want contract/key")
+	}
+	return ctx.GetExternal(parts[0], parts[1])
+}
+
+func TestGasExhaustionInKeysScan(t *testing.T) {
+	e := newTestEngine(t)
+	kp := keys.FromSeed([]byte("a"))
+	for i := 0; i < 5; i++ {
+		execTx(t, e, kp, uint64(i), "counter.add", fmt.Sprintf("k%d:1", i))
+	}
+	e.SetGasLimit(GasKeys - 1) // sum cannot even list keys
+	tx, _ := ledger.NewTx(kp, 5, "counter.sum", nil)
+	rec := e.ExecuteTx(tx, 1)
+	if rec.OK || !strings.Contains(rec.Err, "out of gas") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+}

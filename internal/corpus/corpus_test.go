@@ -1,0 +1,255 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(5).Generate(50, 50)
+	b := NewGenerator(5).Generate(50, 50)
+	if len(a.Statements) != len(b.Statements) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Statements {
+		if a.Statements[i].Text != b.Statements[i].Text {
+			t.Fatalf("diverges at %d", i)
+		}
+	}
+	c := NewGenerator(6).Generate(50, 50)
+	same := true
+	for i := range a.Statements {
+		if a.Statements[i].Text != c.Statements[i].Text {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	c := NewGenerator(1).Generate(120, 80)
+	if len(c.Statements) != 200 {
+		t.Fatalf("total=%d", len(c.Statements))
+	}
+	if got := len(c.Factual()); got != 120 {
+		t.Fatalf("factual=%d", got)
+	}
+	if got := len(c.Fakes()); got != 80 {
+		t.Fatalf("fakes=%d", got)
+	}
+}
+
+func TestModifiedShareApproximates723(t *testing.T) {
+	c := NewGenerator(2).Generate(500, 2000)
+	modified := 0
+	for _, s := range c.Fakes() {
+		if s.Kind == KindModified {
+			modified++
+		}
+	}
+	share := float64(modified) / 2000
+	if math.Abs(share-ModifiedShare) > 0.04 {
+		t.Fatalf("modified share=%.3f want ~%.3f", share, ModifiedShare)
+	}
+}
+
+func TestModifiedFakesHaveParents(t *testing.T) {
+	c := NewGenerator(3).Generate(100, 100)
+	factIDs := make(map[string]bool)
+	for _, s := range c.Factual() {
+		factIDs[s.ID] = true
+	}
+	for _, s := range c.Fakes() {
+		switch s.Kind {
+		case KindModified:
+			if s.Parent == "" || !factIDs[s.Parent] {
+				t.Fatalf("modified fake %s has bad parent %q", s.ID, s.Parent)
+			}
+			if s.AppliedOp == "" || s.AppliedOp == OpVerbatim {
+				t.Fatalf("modified fake %s op=%q", s.ID, s.AppliedOp)
+			}
+		case KindFabricated:
+			if s.Parent != "" {
+				t.Fatalf("fabricated fake %s has parent", s.ID)
+			}
+		}
+	}
+}
+
+func TestEveryOperatorChangesText(t *testing.T) {
+	g := NewGenerator(4)
+	src := g.Factual()
+	for _, op := range ModOps {
+		fake := g.Modify(src, op)
+		if fake.Text == src.Text {
+			t.Errorf("op %s left text unchanged", op)
+		}
+		if fake.AppliedOp != op {
+			t.Errorf("op recorded as %s want %s", fake.AppliedOp, op)
+		}
+		if fake.Topic != src.Topic {
+			t.Errorf("op %s changed topic", op)
+		}
+	}
+}
+
+func TestFakesCarryMoreEmotion(t *testing.T) {
+	c := NewGenerator(6).Generate(400, 400)
+	var factEmo, fakeEmo float64
+	for _, s := range c.Factual() {
+		factEmo += EmotionScore(s.Text)
+	}
+	for _, s := range c.Fakes() {
+		fakeEmo += EmotionScore(s.Text)
+	}
+	factEmo /= 400
+	fakeEmo /= 400
+	if fakeEmo <= factEmo {
+		t.Fatalf("fake emotion %.4f <= factual %.4f", fakeEmo, factEmo)
+	}
+	if fakeEmo < 0.02 {
+		t.Fatalf("fake emotion %.4f suspiciously low", fakeEmo)
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	c := NewGenerator(7).Generate(80, 20)
+	train, test := c.Split(0.7, rand.New(rand.NewSource(1)))
+	if len(train)+len(test) != 100 {
+		t.Fatalf("train=%d test=%d", len(train), len(test))
+	}
+	if len(train) != 70 {
+		t.Fatalf("train=%d want 70", len(train))
+	}
+	seen := make(map[string]bool)
+	for _, s := range append(train, test...) {
+		if seen[s.ID] {
+			t.Fatalf("duplicate %s across split", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestFactualOnRespectsTopic(t *testing.T) {
+	g := NewGenerator(8)
+	for _, topic := range AllTopics {
+		s := g.FactualOn(topic)
+		if s.Topic != topic {
+			t.Fatalf("topic=%s want %s", s.Topic, topic)
+		}
+		if s.Kind != KindFactual || s.Text == "" {
+			t.Fatalf("statement=%+v", s)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The Senate voted 61-39, SHOCKING!")
+	want := []string{"the", "senate", "voted", "61", "39", "shocking"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize("!!! ... ---"); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if EmotionScore("") != 0 {
+		t.Fatal("empty emotion score must be 0")
+	}
+}
+
+func TestEmotionScoreCountsLexicon(t *testing.T) {
+	if got := EmotionScore("shocking corrupt news today"); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("score=%f want 0.5", got)
+	}
+	if got := EmotionScore("the committee met on tuesday"); got != 0 {
+		t.Fatalf("score=%f want 0", got)
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	c := NewGenerator(9).Generate(300, 300)
+	seen := make(map[string]bool)
+	for _, s := range c.Statements {
+		if seen[s.ID] {
+			t.Fatalf("duplicate id %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+// Property: Modify always produces a fake labelled with a parent and the
+// same topic, and fabricated statements never have parents.
+func TestGeneratorInvariantProperty(t *testing.T) {
+	f := func(seed int64, opIdx uint8) bool {
+		g := NewGenerator(seed)
+		src := g.Factual()
+		op := ModOps[int(opIdx)%len(ModOps)]
+		fake := g.Modify(src, op)
+		if !fake.IsFake() || fake.Parent != src.ID || fake.Topic != src.Topic {
+			return false
+		}
+		fab := g.Fabricate()
+		return fab.IsFake() && fab.Parent == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tokenization output contains only lowercase alphanumerics.
+func TestTokenizeProperty(t *testing.T) {
+	f := func(text string) bool {
+		for _, tok := range Tokenize(text) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9') {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricatedTextMentionsTopicObject(t *testing.T) {
+	g := NewGenerator(10)
+	for i := 0; i < 20; i++ {
+		s := g.Fabricate()
+		found := false
+		for _, obj := range objectsByTopic[s.Topic] {
+			if strings.Contains(s.Text, obj) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("fabricated text %q references no %s object", s.Text, s.Topic)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewGenerator(int64(i)).Generate(100, 100)
+	}
+}

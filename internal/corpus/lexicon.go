@@ -1,0 +1,118 @@
+package corpus
+
+// The vocabulary for the synthetic news generator. Real labelled news data
+// (the paper's factual databases: "library of speech records of law makers,
+// official speech records of presidents and public figures") is not
+// available offline, so the generator fabricates statements with the same
+// structural properties the paper relies on: factual items are neutral
+// subject-verb-object records; fake items are predominantly modified
+// factual items (the Stanford 72.3% statistic in §I) and carry
+// negative-emotion wording ("the content of the news is often easy to
+// carry personal emotions ... using the words of negative emotions").
+
+// Topic is a newsroom subject area.
+type Topic string
+
+// Topics covered by the generator.
+const (
+	TopicPolitics Topic = "politics"
+	TopicEconomy  Topic = "economy"
+	TopicHealth   Topic = "health"
+	TopicScience  Topic = "science"
+	TopicSports   Topic = "sports"
+)
+
+// AllTopics lists every topic.
+var AllTopics = []Topic{TopicPolitics, TopicEconomy, TopicHealth, TopicScience, TopicSports}
+
+var subjectsByTopic = map[Topic][]string{
+	TopicPolitics: {
+		"senator ortega", "senator blake", "representative chen", "minister okafor",
+		"governor reyes", "the election commission", "the foreign ministry",
+		"president laurent", "the parliament", "the city council",
+	},
+	TopicEconomy: {
+		"the central bank", "the finance ministry", "the statistics bureau",
+		"the trade commission", "the stock exchange", "the labor department",
+		"the chamber of commerce", "the budget office",
+	},
+	TopicHealth: {
+		"the health ministry", "the hospital association", "the vaccine institute",
+		"the disease control agency", "the medical board", "the nutrition council",
+	},
+	TopicScience: {
+		"the space agency", "the research council", "the observatory",
+		"the climate institute", "the university consortium", "the energy lab",
+	},
+	TopicSports: {
+		"the football federation", "the olympic committee", "the athletics union",
+		"the national team", "the league office", "the anti-doping agency",
+	},
+}
+
+var verbsByTopic = map[Topic][]string{
+	TopicPolitics: {"voted to approve", "voted to reject", "proposed", "signed", "announced", "debated", "ratified"},
+	TopicEconomy:  {"reported", "forecast", "raised", "lowered", "published", "revised", "audited"},
+	TopicHealth:   {"approved", "recalled", "recommended", "funded", "inspected", "licensed"},
+	TopicScience:  {"launched", "measured", "published", "peer reviewed", "replicated", "archived"},
+	TopicSports:   {"scheduled", "suspended", "fined", "selected", "confirmed", "postponed"},
+}
+
+var objectsByTopic = map[Topic][]string{
+	TopicPolitics: {
+		"the infrastructure bill", "the trade agreement", "the budget amendment",
+		"the election reform act", "the border treaty", "the transparency act",
+	},
+	TopicEconomy: {
+		"quarterly growth figures", "the inflation index", "the interest rate",
+		"the employment report", "the export tariff", "the pension fund audit",
+	},
+	TopicHealth: {
+		"the measles vaccine program", "the hospital funding plan", "the dietary guideline",
+		"the clinical trial protocol", "the water quality standard",
+	},
+	TopicScience: {
+		"the lunar probe mission", "the sea level dataset", "the fusion experiment",
+		"the genome survey", "the telescope array",
+	},
+	TopicSports: {
+		"the championship final", "the transfer window", "the doping inquiry",
+		"the stadium renovation", "the qualifying round",
+	},
+}
+
+// qualifiers add specificity typical of sourced factual reporting.
+var qualifiers = []string{
+	"according to the official record",
+	"in a public session",
+	"with a margin of %d to %d",
+	"citing document %d",
+	"at the %d o'clock briefing",
+	"per the published minutes",
+	"as recorded in transcript %d",
+}
+
+// negativeEmotion is the lexicon injected into fakes (paper §I: fake news
+// content often "carries personal emotions ... words of negative emotions").
+var negativeEmotion = []string{
+	"shocking", "outrageous", "disastrous", "corrupt", "treasonous",
+	"catastrophic", "secretly", "horrifying", "scandalous", "rigged",
+	"criminal", "terrifying", "exposed", "betrayed", "furious",
+}
+
+// clickbait markers are common fake-news stylistic tells (OpenSources §II
+// aesthetic/headline analysis).
+var clickbait = []string{
+	"you won't believe", "what they don't want you to know",
+	"share before it is deleted", "the truth about", "wake up",
+	"msm won't report this", "breaking!!!",
+}
+
+// fabricatedClaims seed the ~28% of fakes that are invented outright.
+var fabricatedClaims = []string{
+	"a secret committee has abolished %s",
+	"leaked papers prove %s was staged",
+	"insiders confirm %s will be cancelled tomorrow",
+	"anonymous sources say %s is a cover up",
+	"a whistleblower revealed %s was faked",
+}

@@ -1,0 +1,255 @@
+// Package crawler implements the platform's external-media ingest path:
+// "the system news rooms will make use Internet crawlers to collect news"
+// (§VI). Since the build is offline, the "Internet" is a set of simulated
+// external sources with OpenSources-style reliability categories (§II):
+// credible outlets republish facts, clickbait sites mix modified items in,
+// and fake-news mills emit fabrications.
+//
+// The crawler polls sources, deduplicates by normalized content, assesses
+// each source's track record from the platform's own ranking history (the
+// OpenSources methodology, automated), and publishes fetched items to the
+// news supply chain under the crawler's account with the source recorded
+// as an attribute — so trace-based ranking immediately applies to
+// ingested content.
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/factdb"
+	"repro/internal/platform"
+)
+
+// Category matches the OpenSources labels the paper cites (§II).
+type Category string
+
+// Source categories.
+const (
+	CategoryCredible  Category = "credible"
+	CategoryClickbait Category = "clickbait"
+	CategoryFakeMill  Category = "fake-mill"
+)
+
+// Errors returned by this package.
+var (
+	// ErrNoSources indicates a crawler with nothing to poll.
+	ErrNoSources = errors.New("crawler: no sources configured")
+	// ErrUnknownSource indicates a fetch from an unregistered source.
+	ErrUnknownSource = errors.New("crawler: unknown source")
+)
+
+// Article is one externally published piece.
+type Article struct {
+	SourceID string       `json:"sourceId"`
+	Topic    corpus.Topic `json:"topic"`
+	Text     string       `json:"text"`
+	// Truth is the generator's ground-truth label, used only by tests and
+	// experiments — the platform never sees it.
+	Truth bool `json:"-"`
+}
+
+// Source is a simulated external outlet.
+type Source struct {
+	ID       string
+	Category Category
+	// FactualShare is the fraction of its output that is factual.
+	FactualShare float64
+}
+
+// SourceProfile is what crawling the real web would give per outlet;
+// DefaultSources covers the three OpenSources archetypes.
+func DefaultSources() []Source {
+	return []Source{
+		{ID: "wire-service", Category: CategoryCredible, FactualShare: 0.95},
+		{ID: "city-paper", Category: CategoryCredible, FactualShare: 0.9},
+		{ID: "viral-buzz", Category: CategoryClickbait, FactualShare: 0.45},
+		{ID: "daily-outrage", Category: CategoryFakeMill, FactualShare: 0.08},
+	}
+}
+
+// Web simulates the outside internet: sources emit articles derived from
+// a shared pool of real-world facts (so credible outlets corroborate each
+// other, as real wire copy does).
+type Web struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	gen     *corpus.Generator
+	sources map[string]Source
+	facts   []corpus.Statement
+}
+
+// NewWeb creates the simulated internet with the given sources.
+func NewWeb(seed int64, sources []Source) (*Web, error) {
+	if len(sources) == 0 {
+		return nil, ErrNoSources
+	}
+	w := &Web{
+		rng:     rand.New(rand.NewSource(seed)),
+		gen:     corpus.NewGenerator(seed),
+		sources: make(map[string]Source, len(sources)),
+	}
+	for _, s := range sources {
+		w.sources[s.ID] = s
+	}
+	for i := 0; i < 64; i++ {
+		w.facts = append(w.facts, w.gen.Factual())
+	}
+	return w, nil
+}
+
+// Facts exposes the underlying real-world facts (to seed the platform's
+// factual database, standing in for official records).
+func (w *Web) Facts() []corpus.Statement {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]corpus.Statement, len(w.facts))
+	copy(out, w.facts)
+	return out
+}
+
+// SourceIDs lists the registered sources, sorted.
+func (w *Web) SourceIDs() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.sources))
+	for id := range w.sources {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fetch returns the source's next batch of articles.
+func (w *Web) Fetch(sourceID string, n int) ([]Article, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	src, ok := w.sources[sourceID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSource, sourceID)
+	}
+	out := make([]Article, 0, n)
+	for i := 0; i < n; i++ {
+		if w.rng.Float64() < src.FactualShare {
+			f := w.facts[w.rng.Intn(len(w.facts))]
+			out = append(out, Article{SourceID: sourceID, Topic: f.Topic, Text: f.Text, Truth: true})
+			continue
+		}
+		// Non-factual output: clickbait modifies real stories; fake mills
+		// mostly fabricate.
+		var s corpus.Statement
+		if src.Category == CategoryFakeMill && w.rng.Float64() > corpus.ModifiedShare {
+			s = w.gen.Fabricate()
+		} else {
+			s = w.gen.Modify(w.facts[w.rng.Intn(len(w.facts))], "")
+		}
+		out = append(out, Article{SourceID: sourceID, Topic: s.Topic, Text: s.Text, Truth: false})
+	}
+	return out, nil
+}
+
+// Crawler polls the web and ingests into a platform.
+type Crawler struct {
+	web   *Web
+	p     *platform.Platform
+	actor *platform.Actor
+	// seen deduplicates by normalized content key.
+	seen map[string]bool
+	// perSource tracks how ingested items ranked, per source.
+	perSource map[string]*SourceStats
+	seq       int
+}
+
+// SourceStats is a source's ranking track record on the platform — the
+// automated OpenSources assessment.
+type SourceStats struct {
+	SourceID string  `json:"sourceId"`
+	Ingested int     `json:"ingested"`
+	Factual  int     `json:"factual"`
+	Fake     int     `json:"fake"`
+	AvgScore float64 `json:"avgScore"`
+	scoreSum float64
+}
+
+// Reliability is the measured factual share.
+func (s *SourceStats) Reliability() float64 {
+	if s.Ingested == 0 {
+		return 0
+	}
+	return float64(s.Factual) / float64(s.Ingested)
+}
+
+// New creates a crawler ingesting into p under a dedicated account.
+func New(web *Web, p *platform.Platform) *Crawler {
+	return &Crawler{
+		web:       web,
+		p:         p,
+		actor:     p.NewActor("crawler-ingest"),
+		seen:      make(map[string]bool),
+		perSource: make(map[string]*SourceStats),
+	}
+}
+
+// CrawlOnce fetches n articles from every source, publishes the unseen
+// ones, ranks them, and updates source statistics. It returns the number
+// of newly ingested items.
+func (c *Crawler) CrawlOnce(n int) (int, error) {
+	ingested := 0
+	for _, id := range c.web.SourceIDs() {
+		arts, err := c.web.Fetch(id, n)
+		if err != nil {
+			return ingested, err
+		}
+		for _, a := range arts {
+			key := factdb.ContentKey(a.Text)
+			if c.seen[key] {
+				continue
+			}
+			c.seen[key] = true
+			c.seq++
+			itemID := fmt.Sprintf("crawl-%s-%d", a.SourceID, c.seq)
+			if err := c.actor.PublishNews(itemID, a.Topic, a.Text, nil, ""); err != nil {
+				return ingested, fmt.Errorf("crawler: publish %s: %w", itemID, err)
+			}
+			ingested++
+			rank, err := c.p.RankItem(itemID, "combined")
+			if err != nil {
+				return ingested, fmt.Errorf("crawler: rank %s: %w", itemID, err)
+			}
+			st, ok := c.perSource[a.SourceID]
+			if !ok {
+				st = &SourceStats{SourceID: a.SourceID}
+				c.perSource[a.SourceID] = st
+			}
+			st.Ingested++
+			st.scoreSum += rank.Score
+			st.AvgScore = st.scoreSum / float64(st.Ingested)
+			if rank.Factual {
+				st.Factual++
+			} else {
+				st.Fake++
+			}
+		}
+	}
+	return ingested, nil
+}
+
+// Stats returns the per-source track records, most reliable first.
+func (c *Crawler) Stats() []SourceStats {
+	out := make([]SourceStats, 0, len(c.perSource))
+	for _, st := range c.perSource {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].Reliability(), out[j].Reliability()
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i].SourceID < out[j].SourceID
+	})
+	return out
+}

@@ -1,0 +1,164 @@
+// Package evidence implements on-chain misbehaviour evidence: anyone who
+// observes a validator signing two conflicting consensus votes for the
+// same (height, round, type) can submit the pair as a transaction; the
+// contract re-verifies both signatures and slashes the equivocator.
+//
+// This closes the paper's accountability loop at the consensus layer:
+// §IV promises that misbehaving participants "can be easily identified
+// and located for accountability", and the ranking economy needs Byzantine
+// validators to pay a cost, not merely be outvoted. Slashing burns the
+// offender's staked token balance and floors their reputation in the
+// ranking contract's state (via cross-contract read for the check; the
+// penalty is recorded in this contract's own namespace and consulted by
+// the platform when computing effective reputation).
+package evidence
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/contract"
+	"repro/internal/keys"
+)
+
+// ContractName routes evidence transactions.
+const ContractName = "evidence"
+
+// Errors surfaced by contract execution.
+var (
+	// ErrNotEquivocation indicates a vote pair that does not conflict.
+	ErrNotEquivocation = errors.New("evidence: votes do not equivocate")
+	// ErrBadVoteSig indicates a vote whose signature fails.
+	ErrBadVoteSig = errors.New("evidence: vote signature invalid")
+	// ErrAlreadySlashed indicates duplicate evidence for one offence.
+	ErrAlreadySlashed = errors.New("evidence: offence already recorded")
+	// ErrKeyMismatch indicates a public key not matching the voter.
+	ErrKeyMismatch = errors.New("evidence: public key does not match voter")
+)
+
+// Equivocation is the submittable offence: two conflicting signed votes
+// plus the voter's public key (so the contract can verify without a
+// validator-set oracle — the address binding proves key ownership).
+type Equivocation struct {
+	VoteA  consensus.Vote `json:"voteA"`
+	VoteB  consensus.Vote `json:"voteB"`
+	PubKey []byte         `json:"pubKey"`
+}
+
+// Record is a stored slashing event.
+type Record struct {
+	Offender string `json:"offender"`
+	Height   uint64 `json:"height"` // consensus height of the offence
+	Round    int    `json:"round"`
+	Reporter string `json:"reporter"`
+	AtHeight uint64 `json:"atHeight"` // chain height of the report
+}
+
+// Contract is the evidence chaincode.
+type Contract struct{}
+
+var _ contract.Contract = (*Contract)(nil)
+
+// Name implements contract.Contract.
+func (Contract) Name() string { return ContractName }
+
+// Execute implements contract.Contract.
+func (c Contract) Execute(ctx *contract.Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "submit":
+		return c.submit(ctx, args)
+	case "get":
+		raw, err := ctx.Get("slash/" + string(args))
+		if err != nil {
+			return nil, fmt.Errorf("evidence: no record for %s", string(args))
+		}
+		return raw, nil
+	case "isSlashed":
+		ok, err := ctx.Has("offender/" + string(args))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return []byte("1"), nil
+		}
+		return []byte("0"), nil
+	default:
+		return nil, fmt.Errorf("%w: evidence.%s", contract.ErrUnknownMethod, method)
+	}
+}
+
+func (c Contract) submit(ctx *contract.Context, args []byte) ([]byte, error) {
+	var in Equivocation
+	if err := json.Unmarshal(args, &in); err != nil {
+		return nil, fmt.Errorf("evidence: args: %w", err)
+	}
+	a, b := in.VoteA, in.VoteB
+	// The pair must be a genuine conflict: same voter, height, round and
+	// type, different block ids.
+	if a.Voter != b.Voter || a.Height != b.Height || a.Round != b.Round || a.Type != b.Type {
+		return nil, fmt.Errorf("%w: slots differ", ErrNotEquivocation)
+	}
+	if a.BlockID == b.BlockID {
+		return nil, fmt.Errorf("%w: same block id", ErrNotEquivocation)
+	}
+	// The supplied key must hash to the voter's address, and both
+	// signatures must verify under it.
+	if len(in.PubKey) != ed25519.PublicKeySize {
+		return nil, ErrKeyMismatch
+	}
+	if keys.AddressFromPub(in.PubKey) != a.Voter {
+		return nil, ErrKeyMismatch
+	}
+	for _, v := range []*consensus.Vote{&a, &b} {
+		if err := keys.Verify(in.PubKey, consensus.VoteSignBytes(v), v.Sig); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadVoteSig, err)
+		}
+	}
+	offender := a.Voter.String()
+	offenceKey := fmt.Sprintf("slash/%s-%d-%d-%d", offender, a.Height, a.Round, a.Type)
+	if ok, err := ctx.Has(offenceKey); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("%w: %s", ErrAlreadySlashed, offenceKey)
+	}
+	rec := Record{
+		Offender: offender,
+		Height:   a.Height,
+		Round:    a.Round,
+		Reporter: ctx.Sender.String(),
+		AtHeight: ctx.Height,
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("evidence: marshal: %w", err)
+	}
+	if err := ctx.Put(offenceKey, raw); err != nil {
+		return nil, err
+	}
+	if err := ctx.Put("offender/"+offender, []byte("1")); err != nil {
+		return nil, err
+	}
+	if err := ctx.Emit("slashed", map[string]string{
+		"offender": offender, "reporter": rec.Reporter,
+	}); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// SubmitPayload builds an evidence.submit payload.
+func SubmitPayload(a, b consensus.Vote, pub []byte) ([]byte, error) {
+	return json.Marshal(Equivocation{VoteA: a, VoteB: b, PubKey: pub})
+}
+
+// IsSlashed queries whether an address has a recorded offence.
+func IsSlashed(e *contract.Engine, asker keys.Address, offender keys.Address) (bool, error) {
+	raw, err := e.Query(asker, ContractName+".isSlashed", []byte(offender.String()))
+	if err != nil {
+		return false, err
+	}
+	return string(raw) == "1", nil
+}

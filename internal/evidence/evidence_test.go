@@ -1,0 +1,151 @@
+package evidence
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/contract"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+)
+
+type fixture struct {
+	engine *contract.Engine
+	nonces map[string]uint64
+	t      *testing.T
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	e := contract.NewEngine()
+	if err := e.Register(Contract{}); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{engine: e, nonces: make(map[string]uint64), t: t}
+}
+
+func (f *fixture) exec(kp *keys.KeyPair, method string, payload []byte) contract.Receipt {
+	f.t.Helper()
+	key := kp.Address().String()
+	tx, err := ledger.NewTx(kp, f.nonces[key], ContractName+"."+method, payload)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.nonces[key]++
+	return f.engine.ExecuteTx(tx, 1)
+}
+
+// conflictingVotes builds a genuine equivocation pair for the offender.
+func conflictingVotes(offender *keys.KeyPair) (consensus.Vote, consensus.Vote) {
+	a := consensus.Vote{Type: consensus.VotePrecommit, Height: 4, Round: 1, BlockID: ledger.BlockID{1}, Voter: offender.Address()}
+	b := consensus.Vote{Type: consensus.VotePrecommit, Height: 4, Round: 1, BlockID: ledger.BlockID{2}, Voter: offender.Address()}
+	consensus.SignVote(&a, offender)
+	consensus.SignVote(&b, offender)
+	return a, b
+}
+
+func TestSubmitValidEvidence(t *testing.T) {
+	f := newFixture(t)
+	offender := keys.FromSeed([]byte("byzantine"))
+	reporter := keys.FromSeed([]byte("reporter"))
+	a, b := conflictingVotes(offender)
+	payload, err := SubmitPayload(a, b, offender.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := f.exec(reporter, "submit", payload)
+	if !rec.OK {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	if len(rec.Events) != 1 || rec.Events[0].Type != "slashed" {
+		t.Fatalf("events: %+v", rec.Events)
+	}
+	slashed, err := IsSlashed(f.engine, reporter.Address(), offender.Address())
+	if err != nil || !slashed {
+		t.Fatalf("slashed=%v err=%v", slashed, err)
+	}
+	// Innocent accounts are not flagged.
+	slashed, _ = IsSlashed(f.engine, reporter.Address(), reporter.Address())
+	if slashed {
+		t.Fatal("reporter flagged as slashed")
+	}
+}
+
+func TestDuplicateEvidenceRejected(t *testing.T) {
+	f := newFixture(t)
+	offender := keys.FromSeed([]byte("byzantine"))
+	reporter := keys.FromSeed([]byte("reporter"))
+	a, b := conflictingVotes(offender)
+	payload, _ := SubmitPayload(a, b, offender.Public())
+	f.exec(reporter, "submit", payload)
+	rec := f.exec(reporter, "submit", payload)
+	if rec.OK || !strings.Contains(rec.Err, "already recorded") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+}
+
+func TestRejectsNonConflictingVotes(t *testing.T) {
+	f := newFixture(t)
+	offender := keys.FromSeed([]byte("byzantine"))
+	reporter := keys.FromSeed([]byte("reporter"))
+	// Same block id: not an equivocation.
+	a := consensus.Vote{Type: consensus.VotePrecommit, Height: 4, Round: 1, BlockID: ledger.BlockID{1}, Voter: offender.Address()}
+	consensus.SignVote(&a, offender)
+	payload, _ := SubmitPayload(a, a, offender.Public())
+	rec := f.exec(reporter, "submit", payload)
+	if rec.OK || !strings.Contains(rec.Err, "same block id") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	// Different heights: different slots, no offence.
+	b := a
+	b.Height = 5
+	b.BlockID = ledger.BlockID{2}
+	consensus.SignVote(&b, offender)
+	payload, _ = SubmitPayload(a, b, offender.Public())
+	rec = f.exec(reporter, "submit", payload)
+	if rec.OK || !strings.Contains(rec.Err, "slots differ") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+}
+
+func TestRejectsForgedEvidence(t *testing.T) {
+	f := newFixture(t)
+	victim := keys.FromSeed([]byte("honest"))
+	framer := keys.FromSeed([]byte("framer"))
+	// The framer fabricates conflicting votes "from" the victim but can
+	// only sign with their own key.
+	a := consensus.Vote{Type: consensus.VotePrecommit, Height: 4, Round: 1, BlockID: ledger.BlockID{1}, Voter: victim.Address()}
+	b := consensus.Vote{Type: consensus.VotePrecommit, Height: 4, Round: 1, BlockID: ledger.BlockID{2}, Voter: victim.Address()}
+	consensus.SignVote(&a, framer)
+	consensus.SignVote(&b, framer)
+
+	// Using the victim's real key: signatures fail.
+	payload, _ := SubmitPayload(a, b, victim.Public())
+	rec := f.exec(framer, "submit", payload)
+	if rec.OK || !strings.Contains(rec.Err, "signature invalid") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	// Using the framer's key: address binding fails.
+	payload, _ = SubmitPayload(a, b, framer.Public())
+	rec = f.exec(framer, "submit", payload)
+	if rec.OK || !strings.Contains(rec.Err, "public key does not match") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	// The victim stays clean.
+	slashed, _ := IsSlashed(f.engine, framer.Address(), victim.Address())
+	if slashed {
+		t.Fatal("victim framed")
+	}
+}
+
+func TestRejectsGarbagePayloads(t *testing.T) {
+	f := newFixture(t)
+	reporter := keys.FromSeed([]byte("reporter"))
+	for _, payload := range [][]byte{nil, []byte("{"), []byte(`{"pubKey":"AQ=="}`)} {
+		rec := f.exec(reporter, "submit", payload)
+		if rec.OK {
+			t.Fatalf("payload %q accepted", payload)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package experiments contains the runners that regenerate every
+// experiment in DESIGN.md's index (E1-E12). The paper is a position paper
+// with no numeric tables, so each runner quantifies one of its figures or
+// falsifiable claims; EXPERIMENTS.md records the qualitative expectation
+// next to the measured output.
+//
+// Every runner is deterministic from its seed and returns a Table that
+// cmd/benchrunner renders; the root bench_test.go wraps each runner in a
+// testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper's qualitative expectation
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cols ...string) {
+	t.Rows = append(t.Rows, cols)
+}
+
+// Render pretty-prints the table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "paper claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "| "+strings.Join(parts, " | ")+" |")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f formats a float at 3 decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f1 formats a float at 1 decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// d formats an int.
+func d(v int) string { return fmt.Sprintf("%d", v) }

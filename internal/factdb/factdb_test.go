@@ -1,0 +1,304 @@
+package factdb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/contract"
+	"repro/internal/corpus"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+)
+
+type fixture struct {
+	engine  *contract.Engine
+	genesis *keys.KeyPair
+	ranker  *keys.KeyPair
+	nonces  map[string]uint64
+}
+
+func newFixture(t *testing.T, threshold float64) *fixture {
+	t.Helper()
+	f := &fixture{
+		genesis: keys.FromSeed([]byte("genesis")),
+		ranker:  keys.FromSeed([]byte("ranker")),
+		nonces:  make(map[string]uint64),
+	}
+	f.engine = contract.NewEngine()
+	err := f.engine.Register(&Contract{
+		Genesis:          f.genesis.Address(),
+		RankAuthority:    f.ranker.Address(),
+		PromoteThreshold: threshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func (f *fixture) exec(t *testing.T, kp *keys.KeyPair, method string, payload []byte) contract.Receipt {
+	t.Helper()
+	key := kp.Address().String()
+	tx, err := ledger.NewTx(kp, f.nonces[key], ContractName+"."+method, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.nonces[key]++
+	return f.engine.ExecuteTx(tx, 1)
+}
+
+func (f *fixture) seed(t *testing.T, id, text string) contract.Receipt {
+	t.Helper()
+	p, err := SeedPayload(id, corpus.TopicPolitics, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.exec(t, f.genesis, "seed", p)
+}
+
+func TestSeedAndLookup(t *testing.T) {
+	f := newFixture(t, 0.9)
+	rec := f.seed(t, "f1", "the senate ratified the border treaty")
+	if !rec.OK {
+		t.Fatalf("seed: %+v", rec)
+	}
+	ok, err := Has(f.engine, f.genesis.Address(), "the senate ratified the border treaty")
+	if err != nil || !ok {
+		t.Fatalf("Has: %v %v", ok, err)
+	}
+	// Token-normalized: punctuation/case differences still match.
+	ok, _ = Has(f.engine, f.genesis.Address(), "The Senate RATIFIED the border treaty!")
+	if !ok {
+		t.Fatal("normalized lookup failed")
+	}
+	ok, _ = Has(f.engine, f.genesis.Address(), "the senate rejected the border treaty")
+	if ok {
+		t.Fatal("different text matched")
+	}
+}
+
+func TestSeedRequiresGenesis(t *testing.T) {
+	f := newFixture(t, 0.9)
+	p, _ := SeedPayload("f1", corpus.TopicPolitics, "text")
+	rec := f.exec(t, f.ranker, "seed", p)
+	if rec.OK || !strings.Contains(rec.Err, "not a fact authority") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+}
+
+func TestDuplicateSeedRejected(t *testing.T) {
+	f := newFixture(t, 0.9)
+	f.seed(t, "f1", "the senate ratified the border treaty")
+	rec := f.seed(t, "f2", "The senate ratified the border treaty")
+	if rec.OK || !strings.Contains(rec.Err, "duplicate") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+}
+
+func TestEmptyTextRejected(t *testing.T) {
+	f := newFixture(t, 0.9)
+	rec := f.seed(t, "f1", "")
+	if rec.OK {
+		t.Fatal("empty text accepted")
+	}
+}
+
+func TestPromoteThreshold(t *testing.T) {
+	f := newFixture(t, 0.8)
+	low, _ := PromotePayload("p1", corpus.TopicHealth, "vaccine program approved", 0.5)
+	rec := f.exec(t, f.ranker, "promote", low)
+	if rec.OK || !strings.Contains(rec.Err, "below promotion threshold") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	high, _ := PromotePayload("p2", corpus.TopicHealth, "vaccine program approved", 0.95)
+	rec = f.exec(t, f.ranker, "promote", high)
+	if !rec.OK {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	facts, err := List(f.engine, f.genesis.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 1 || facts[0].Source != "promoted" || facts[0].Score != 0.95 {
+		t.Fatalf("facts=%+v", facts)
+	}
+}
+
+func TestPromoteRequiresAuthority(t *testing.T) {
+	f := newFixture(t, 0.5)
+	outsider := keys.FromSeed([]byte("outsider"))
+	p, _ := PromotePayload("p1", corpus.TopicHealth, "x y z", 0.99)
+	rec := f.exec(t, outsider, "promote", p)
+	if rec.OK {
+		t.Fatal("outsider promoted a fact")
+	}
+}
+
+func TestListSortedAndComplete(t *testing.T) {
+	f := newFixture(t, 0.9)
+	f.seed(t, "b", "statement two about the budget")
+	f.seed(t, "a", "statement one about the treaty")
+	facts, err := List(f.engine, f.genesis.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 2 || facts[0].ID != "a" || facts[1].ID != "b" {
+		t.Fatalf("facts=%+v", facts)
+	}
+}
+
+func TestIndexExactAndBestMatch(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(Fact{ID: "f1", Text: "the central bank raised the interest rate with a margin of 61 to 20"})
+	ix.Add(Fact{ID: "f2", Text: "the space agency launched the lunar probe mission"})
+	if !ix.Contains("the central bank raised the interest rate with a margin of 61 to 20") {
+		t.Fatal("exact match missed")
+	}
+	m, ok := ix.BestMatch("SHOCKING the central bank raised the interest rate with a margin of 61 to 20")
+	if !ok || m.Fact.ID != "f1" {
+		t.Fatalf("match=%+v ok=%v", m, ok)
+	}
+	if m.Similarity < 0.8 || m.Similarity >= 1 {
+		t.Fatalf("similarity=%f", m.Similarity)
+	}
+	m2, ok := ix.BestMatch("the space agency launched the lunar probe mission")
+	if !ok || m2.Fact.ID != "f2" || m2.Similarity != 1 {
+		t.Fatalf("match=%+v", m2)
+	}
+}
+
+func TestIndexNoOverlap(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(Fact{ID: "f1", Text: "alpha beta gamma"})
+	if _, ok := ix.BestMatch("delta epsilon zeta"); ok {
+		t.Fatal("zero-overlap query matched")
+	}
+	if _, ok := ix.BestMatch(""); ok {
+		t.Fatal("empty query matched")
+	}
+}
+
+func TestIndexIdempotentAdd(t *testing.T) {
+	ix := NewIndex()
+	f := Fact{ID: "f1", Text: "one two three"}
+	ix.Add(f)
+	root1 := ix.Root()
+	ix.Add(f)
+	if ix.Len() != 1 {
+		t.Fatalf("len=%d", ix.Len())
+	}
+	if ix.Root() != root1 {
+		t.Fatal("idempotent add changed root")
+	}
+}
+
+func TestIndexRootGrowsWithFacts(t *testing.T) {
+	ix := NewIndex()
+	if !ix.Root().IsZero() {
+		t.Fatal("empty index root must be zero")
+	}
+	ix.Add(Fact{ID: "f1", Text: "one"})
+	r1 := ix.Root()
+	ix.Add(Fact{ID: "f2", Text: "two"})
+	if ix.Root() == r1 {
+		t.Fatal("root unchanged after add")
+	}
+}
+
+func TestRebuildFromEngine(t *testing.T) {
+	f := newFixture(t, 0.9)
+	f.seed(t, "f1", "the parliament signed the transparency act")
+	f.seed(t, "f2", "the health ministry approved the dietary guideline")
+	ix, err := Rebuild(f.engine, f.genesis.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("len=%d", ix.Len())
+	}
+	if !ix.Contains("the parliament signed the transparency act") {
+		t.Fatal("rebuilt index missing fact")
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	if Similarity("a b c", "a b c") != 1 {
+		t.Fatal("identical texts must score 1")
+	}
+	if Similarity("a b", "c d") != 0 {
+		t.Fatal("disjoint texts must score 0")
+	}
+	if Similarity("", "") != 1 {
+		t.Fatal("two empties are identical")
+	}
+	if Similarity("a", "") != 0 {
+		t.Fatal("empty vs non-empty is 0")
+	}
+}
+
+// Property: Similarity is symmetric and bounded.
+func TestSimilarityProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		s1, s2 := Similarity(a, b), Similarity(b, a)
+		return s1 == s2 && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ContentKey is invariant to case/punctuation but not to token
+// changes.
+func TestContentKeyProperty(t *testing.T) {
+	f := func(a string) bool {
+		return ContentKey(a) == ContentKey(strings.ToUpper(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if ContentKey("a b c") == ContentKey("a b d") {
+		t.Fatal("different tokens same key")
+	}
+}
+
+func TestBestMatchFindsModifiedParent(t *testing.T) {
+	// The E5/E9 scenario: a fake derived from a fact should best-match its
+	// parent with high but sub-1.0 similarity.
+	g := corpus.NewGenerator(3)
+	ix := NewIndex()
+	facts := make([]corpus.Statement, 0, 50)
+	for i := 0; i < 50; i++ {
+		s := g.Factual()
+		facts = append(facts, s)
+		ix.Add(Fact{ID: s.ID, Topic: s.Topic, Text: s.Text})
+	}
+	hits := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		src := facts[i%len(facts)]
+		fake := g.Modify(src, corpus.OpInsert)
+		m, ok := ix.BestMatch(fake.Text)
+		if ok && m.Fact.ID == src.ID {
+			hits++
+		}
+	}
+	if hits < trials*8/10 {
+		t.Fatalf("parent recovered %d/%d times", hits, trials)
+	}
+}
+
+func BenchmarkBestMatch(b *testing.B) {
+	g := corpus.NewGenerator(1)
+	ix := NewIndex()
+	for i := 0; i < 2000; i++ {
+		s := g.Factual()
+		ix.Add(Fact{ID: s.ID, Topic: s.Topic, Text: s.Text})
+	}
+	query := g.Modify(g.Factual(), corpus.OpInsert).Text
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.BestMatch(query)
+	}
+}

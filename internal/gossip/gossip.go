@@ -1,0 +1,286 @@
+// Package gossip implements epidemic broadcast over a simnet network.
+//
+// Blocks and transactions propagate between validators by push gossip with
+// configurable fanout and duplicate suppression. The fanout/latency/overhead
+// trade-off is one of the ablations DESIGN.md calls out: a higher fanout
+// lowers propagation delay at the cost of redundant messages, which matters
+// for the paper's "globally connected" news network (§VII).
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// MessageKind is the simnet message kind used by gossip traffic.
+const MessageKind = "gossip"
+
+// Anti-entropy message kinds (pull repair).
+const (
+	// KindDigest carries a node's seen-envelope digest to a random peer.
+	KindDigest = "gossip.digest"
+	// KindPull requests envelopes missing from the requester's digest.
+	KindPull = "gossip.pull"
+)
+
+// Errors returned by this package.
+var (
+	// ErrUnknownPeer indicates an origin node that was never registered.
+	ErrUnknownPeer = errors.New("gossip: unknown peer")
+)
+
+// Envelope is the payload carried by gossip messages.
+type Envelope struct {
+	ID      string // deduplication key, chosen by the publisher
+	Topic   string
+	Payload any
+	Hops    int
+}
+
+// Delivery is handed to the application when a node first sees an envelope.
+type Delivery struct {
+	Node simnet.NodeID
+	From simnet.NodeID
+	Env  Envelope
+	At   time.Duration
+}
+
+// Config tunes the protocol.
+type Config struct {
+	// Fanout is the number of random peers each node forwards a fresh
+	// envelope to. Zero means broadcast to all peers.
+	Fanout int
+	// MaxHops bounds forwarding depth; zero means unlimited.
+	MaxHops int
+}
+
+// Mesh is a gossip overlay across a set of simnet nodes. Create with New,
+// register nodes with Join, publish with Publish, then drive the underlying
+// network with net.Run.
+type Mesh struct {
+	mu    sync.Mutex
+	net   *simnet.Network
+	cfg   Config
+	peers []simnet.NodeID
+	seen  map[simnet.NodeID]map[string]bool
+	// stash keeps each node's copies of received envelopes so it can
+	// serve anti-entropy pulls.
+	stash   map[simnet.NodeID]map[string]Envelope
+	deliver func(Delivery)
+	// counters
+	firstSeen map[string]time.Duration
+	reach     map[string]int
+}
+
+// New creates a mesh over the given network. deliver is invoked exactly once
+// per (node, envelope id) pair; it may be nil.
+func New(net *simnet.Network, cfg Config, deliver func(Delivery)) *Mesh {
+	return &Mesh{
+		net:       net,
+		cfg:       cfg,
+		seen:      make(map[simnet.NodeID]map[string]bool),
+		stash:     make(map[simnet.NodeID]map[string]Envelope),
+		deliver:   deliver,
+		firstSeen: make(map[string]time.Duration),
+		reach:     make(map[string]int),
+	}
+}
+
+// Join registers a node with the mesh and installs its simnet handler.
+func (g *Mesh) Join(id simnet.NodeID) error {
+	g.mu.Lock()
+	g.peers = append(g.peers, id)
+	g.seen[id] = make(map[string]bool)
+	g.stash[id] = make(map[string]Envelope)
+	g.mu.Unlock()
+	handler := func(m simnet.Message) {
+		switch m.Kind {
+		case KindDigest:
+			ids, ok := m.Payload.([]string)
+			if !ok {
+				return
+			}
+			g.onDigest(id, m.From, ids)
+		case KindPull:
+			ids, ok := m.Payload.([]string)
+			if !ok {
+				return
+			}
+			g.onPull(id, m.From, ids)
+		default:
+			env, ok := m.Payload.(Envelope)
+			if !ok {
+				return
+			}
+			g.receive(id, m.From, env)
+		}
+	}
+	if err := g.net.AddNode(id, handler); err != nil {
+		// Node may pre-exist (shared with consensus); replace the handler
+		// is not what we want, so surface the error.
+		return fmt.Errorf("gossip: join %s: %w", id, err)
+	}
+	return nil
+}
+
+// Peers returns the current peer list.
+func (g *Mesh) Peers() []simnet.NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]simnet.NodeID, len(g.peers))
+	copy(out, g.peers)
+	return out
+}
+
+// Publish introduces an envelope at origin and starts the epidemic.
+func (g *Mesh) Publish(origin simnet.NodeID, env Envelope) error {
+	g.mu.Lock()
+	if _, ok := g.seen[origin]; !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, origin)
+	}
+	g.mu.Unlock()
+	g.receive(origin, origin, env)
+	return nil
+}
+
+func (g *Mesh) receive(node, from simnet.NodeID, env Envelope) {
+	g.mu.Lock()
+	if g.seen[node][env.ID] {
+		g.mu.Unlock()
+		return
+	}
+	g.seen[node][env.ID] = true
+	g.stash[node][env.ID] = env
+	if _, ok := g.firstSeen[env.ID]; !ok {
+		g.firstSeen[env.ID] = g.net.Now()
+	}
+	g.reach[env.ID]++
+	targets := g.pickTargets(node)
+	g.mu.Unlock()
+
+	if g.deliver != nil {
+		g.deliver(Delivery{Node: node, From: from, Env: env, At: g.net.Now()})
+	}
+	if g.cfg.MaxHops > 0 && env.Hops >= g.cfg.MaxHops {
+		return
+	}
+	next := env
+	next.Hops++
+	for _, t := range targets {
+		if t == node || t == from {
+			continue
+		}
+		// Errors from Send mean an unregistered peer, which cannot happen
+		// for peers picked from our own list; losses are silent by design.
+		_ = g.net.Send(node, t, MessageKind, next)
+	}
+}
+
+// pickTargets selects fanout random peers (or all peers when Fanout==0).
+// Caller must hold g.mu.
+func (g *Mesh) pickTargets(self simnet.NodeID) []simnet.NodeID {
+	if g.cfg.Fanout <= 0 || g.cfg.Fanout >= len(g.peers)-1 {
+		out := make([]simnet.NodeID, len(g.peers))
+		copy(out, g.peers)
+		return out
+	}
+	// Partial Fisher-Yates over a copy using the network RNG.
+	cand := make([]simnet.NodeID, 0, len(g.peers)-1)
+	for _, p := range g.peers {
+		if p != self {
+			cand = append(cand, p)
+		}
+	}
+	rng := g.net.Rand()
+	k := g.cfg.Fanout
+	for i := 0; i < k && i < len(cand); i++ {
+		j := i + rng.Intn(len(cand)-i)
+		cand[i], cand[j] = cand[j], cand[i]
+	}
+	if k > len(cand) {
+		k = len(cand)
+	}
+	return cand[:k]
+}
+
+// AntiEntropyRound makes every node send its digest to one random peer.
+// Peers that are missing envelopes pull them back — the repair mechanism
+// that closes the coverage gap push gossip leaves under loss.
+func (g *Mesh) AntiEntropyRound() {
+	g.mu.Lock()
+	peers := append([]simnet.NodeID(nil), g.peers...)
+	digests := make(map[simnet.NodeID][]string, len(peers))
+	for _, p := range peers {
+		ids := make([]string, 0, len(g.seen[p]))
+		for id := range g.seen[p] {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		digests[p] = ids
+	}
+	rng := g.net.Rand()
+	g.mu.Unlock()
+	for _, p := range peers {
+		if len(peers) < 2 {
+			return
+		}
+		target := peers[rng.Intn(len(peers))]
+		if target == p {
+			continue
+		}
+		_ = g.net.Send(p, target, KindDigest, digests[p])
+	}
+}
+
+// onDigest compares a peer's digest with ours and pulls what we miss.
+func (g *Mesh) onDigest(node, from simnet.NodeID, ids []string) {
+	g.mu.Lock()
+	var missing []string
+	for _, id := range ids {
+		if !g.seen[node][id] {
+			missing = append(missing, id)
+		}
+	}
+	g.mu.Unlock()
+	if len(missing) > 0 {
+		_ = g.net.Send(node, from, KindPull, missing)
+	}
+}
+
+// onPull serves requested envelopes from the local stash.
+func (g *Mesh) onPull(node, from simnet.NodeID, ids []string) {
+	g.mu.Lock()
+	envs := make([]Envelope, 0, len(ids))
+	for _, id := range ids {
+		if env, ok := g.stash[node][id]; ok {
+			envs = append(envs, env)
+		}
+	}
+	g.mu.Unlock()
+	for _, env := range envs {
+		_ = g.net.Send(node, from, MessageKind, env)
+	}
+}
+
+// Reach returns how many distinct nodes have seen the envelope id.
+func (g *Mesh) Reach(id string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reach[id]
+}
+
+// Coverage returns the fraction of peers that have seen the envelope id.
+func (g *Mesh) Coverage(id string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.peers) == 0 {
+		return 0
+	}
+	return float64(g.reach[id]) / float64(len(g.peers))
+}

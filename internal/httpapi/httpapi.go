@@ -1,0 +1,274 @@
+// Package httpapi exposes a trusting-news platform node over JSON/HTTP —
+// the integration surface a real deployment would offer journalists,
+// fact-checking tools and reader apps ("this platform will gather
+// blockchain traced data and AI tools that can provide pointers to the
+// original data sources", §I).
+//
+// The API is deliberately thin: clients sign transactions locally (keys
+// never leave the client) and POST the encoded bytes; reads are served
+// from the node's indexes. Endpoints:
+//
+//	POST /v1/tx                submit a signed, hex-encoded transaction
+//	GET  /v1/chain             chain head summary
+//	GET  /v1/items/{id}        one news item
+//	GET  /v1/items/{id}/rank   combined ranking with component breakdown
+//	GET  /v1/items/{id}/trace  supply-chain trace
+//	GET  /v1/facts             the factual database listing
+//	GET  /v1/experts?topic=t&k=5
+//	GET  /v1/accounts/{addr}   identity + balance + reputation
+//	GET  /v1/proofs/{txid}     light-client Merkle inclusion proof
+package httpapi
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/factdb"
+	"repro/internal/identity"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/light"
+	"repro/internal/merkle"
+	"repro/internal/platform"
+	"repro/internal/ranking"
+	"repro/internal/supplychain"
+)
+
+// Server is the HTTP gateway over one platform node.
+type Server struct {
+	p   *platform.Platform
+	mux *http.ServeMux
+	// AutoCommit mines a block after every accepted transaction, which
+	// gives the single-node deployment synchronous semantics. Replicated
+	// deployments leave it off and let consensus drive commits.
+	AutoCommit bool
+}
+
+// New creates the gateway.
+func New(p *platform.Platform, autoCommit bool) *Server {
+	s := &Server{p: p, AutoCommit: autoCommit}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tx", s.handleSubmitTx)
+	mux.HandleFunc("GET /v1/chain", s.handleChain)
+	mux.HandleFunc("GET /v1/items/{id}", s.handleItem)
+	mux.HandleFunc("GET /v1/items/{id}/rank", s.handleRank)
+	mux.HandleFunc("GET /v1/items/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/facts", s.handleFacts)
+	mux.HandleFunc("GET /v1/experts", s.handleExperts)
+	mux.HandleFunc("GET /v1/accounts/{addr}", s.handleAccount)
+	mux.HandleFunc("GET /v1/proofs/{txid}", s.handleProof)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+var _ http.Handler = (*Server)(nil)
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is out can only be logged;
+	// for these value types they cannot occur.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// submitRequest is the POST /v1/tx body.
+type submitRequest struct {
+	// TxHex is the hex of ledger.Tx.Encode().
+	TxHex string `json:"txHex"`
+}
+
+// submitResponse echoes acceptance.
+type submitResponse struct {
+	TxID      string `json:"txId"`
+	Committed bool   `json:"committed"`
+	OK        bool   `json:"ok"`
+	Err       string `json:"err,omitempty"`
+	GasUsed   uint64 `json:"gasUsed,omitempty"`
+}
+
+func (s *Server) handleSubmitTx(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	raw, err := hex.DecodeString(strings.TrimSpace(req.TxHex))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("txHex: %w", err))
+		return
+	}
+	tx, err := ledger.DecodeTx(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.p.Submit(tx); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := submitResponse{TxID: tx.ID().String()}
+	if s.AutoCommit {
+		if err := s.p.CommitAll(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Committed = true
+		if rec, ok := s.p.Receipt(tx.ID()); ok {
+			resp.OK = rec.OK
+			resp.Err = rec.Err
+			resp.GasUsed = rec.GasUsed
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// chainResponse summarizes the chain head.
+type chainResponse struct {
+	Height   uint64 `json:"height"`
+	HeadID   string `json:"headId"`
+	Items    int    `json:"items"`
+	Facts    int    `json:"facts"`
+	FactRoot string `json:"factRoot"`
+}
+
+func (s *Server) handleChain(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, chainResponse{
+		Height:   s.p.Chain().Height(),
+		HeadID:   s.p.Chain().HeadID().String(),
+		Items:    s.p.Graph().Len(),
+		Facts:    s.p.FactIndex().Len(),
+		FactRoot: s.p.FactIndex().Root().String(),
+	})
+}
+
+func (s *Server) handleItem(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	item, err := supplychain.GetItem(s.p.Engine(), s.p.Authority(), id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, item)
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	mech := ranking.Mechanism(r.URL.Query().Get("mechanism"))
+	if mech == "" {
+		mech = ranking.MechanismCombined
+	}
+	rank, err := s.p.RankItem(id, mech)
+	if err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, ranking.ErrNoSignal) {
+			status = http.StatusConflict
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rank)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, err := s.p.Graph().Trace(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+func (s *Server) handleFacts(w http.ResponseWriter, _ *http.Request) {
+	facts, err := factdb.List(s.p.Engine(), s.p.Authority())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, facts)
+}
+
+func (s *Server) handleExperts(w http.ResponseWriter, r *http.Request) {
+	topic := corpus.Topic(r.URL.Query().Get("topic"))
+	if topic == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing topic parameter"))
+		return
+	}
+	k := 5
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v <= 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("k must be a positive integer"))
+			return
+		}
+		k = v
+	}
+	writeJSON(w, http.StatusOK, s.p.Experts(topic, k))
+}
+
+// accountResponse bundles everything known about an address.
+type accountResponse struct {
+	Address    string           `json:"address"`
+	Identity   *identity.Record `json:"identity,omitempty"`
+	Balance    uint64           `json:"balance"`
+	Reputation float64          `json:"reputation"`
+}
+
+// proofResponse serializes a light-client inclusion proof; TxRaw is hex.
+type proofResponse struct {
+	Header ledger.Header `json:"header"`
+	TxHex  string        `json:"txHex"`
+	Merkle merkle.Proof  `json:"merkle"`
+}
+
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
+	raw, err := hex.DecodeString(r.PathValue("txid"))
+	if err != nil || len(raw) != len(ledger.TxID{}) {
+		writeErr(w, http.StatusBadRequest, errors.New("txid must be 64 hex chars"))
+		return
+	}
+	var id ledger.TxID
+	copy(id[:], raw)
+	p, err := light.Prove(s.p.Chain(), id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, proofResponse{
+		Header: p.Header, TxHex: hex.EncodeToString(p.TxRaw), Merkle: p.Merkle,
+	})
+}
+
+func (s *Server) handleAccount(w http.ResponseWriter, r *http.Request) {
+	addr, err := keys.ParseAddress(r.PathValue("addr"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := accountResponse{Address: addr.String()}
+	if rec, err := identity.Lookup(s.p.Engine(), addr); err == nil {
+		resp.Identity = &rec
+	}
+	// Balance/reputation default to zero/initial for unknown accounts.
+	resp.Balance, _ = ranking.Balance(s.p.Engine(), s.p.Authority(), addr)
+	resp.Reputation, _ = ranking.Reputation(s.p.Engine(), s.p.Authority(), addr)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,222 @@
+package identity
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/contract"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+)
+
+type fixture struct {
+	engine  *contract.Engine
+	genesis *keys.KeyPair
+	nonces  map[string]uint64
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	genesis := keys.FromSeed([]byte("genesis"))
+	e := contract.NewEngine()
+	if err := e.Register(&Contract{Genesis: genesis.Address()}); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{engine: e, genesis: genesis, nonces: make(map[string]uint64)}
+}
+
+func (f *fixture) exec(t *testing.T, kp *keys.KeyPair, method string, payload []byte) contract.Receipt {
+	t.Helper()
+	key := kp.Address().String()
+	tx, err := ledger.NewTx(kp, f.nonces[key], ContractName+"."+method, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.nonces[key]++
+	return f.engine.ExecuteTx(tx, 1)
+}
+
+func (f *fixture) register(t *testing.T, kp *keys.KeyPair, name string, role Role) contract.Receipt {
+	t.Helper()
+	payload, err := RegisterPayload(name, role)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.exec(t, kp, "register", payload)
+}
+
+func (f *fixture) verify(t *testing.T, by *keys.KeyPair, target keys.Address) contract.Receipt {
+	t.Helper()
+	payload, err := ActPayload(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.exec(t, by, "verify", payload)
+}
+
+func TestRegisterCreator(t *testing.T) {
+	f := newFixture(t)
+	alice := keys.FromSeed([]byte("alice"))
+	rec := f.register(t, alice, "Alice Reporter", RoleCreator)
+	if !rec.OK {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	got, err := Lookup(f.engine, alice.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Role != RoleCreator || got.Status != StatusPending {
+		t.Fatalf("record=%+v", got)
+	}
+}
+
+func TestConsumerAutoVerified(t *testing.T) {
+	f := newFixture(t)
+	reader := keys.FromSeed([]byte("reader"))
+	f.register(t, reader, "Reader", RoleConsumer)
+	if !IsVerified(f.engine, reader.Address(), RoleConsumer) {
+		t.Fatal("consumer must be auto-verified")
+	}
+}
+
+func TestGenesisVerifies(t *testing.T) {
+	f := newFixture(t)
+	alice := keys.FromSeed([]byte("alice"))
+	f.register(t, alice, "Alice", RoleCreator)
+	rec := f.verify(t, f.genesis, alice.Address())
+	if !rec.OK {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	if !IsVerified(f.engine, alice.Address(), RoleCreator) {
+		t.Fatal("not verified after genesis approval")
+	}
+}
+
+func TestPublisherCanVerifyOthers(t *testing.T) {
+	f := newFixture(t)
+	pub := keys.FromSeed([]byte("pub"))
+	f.register(t, pub, "Publisher", RolePublisher)
+	f.verify(t, f.genesis, pub.Address())
+	alice := keys.FromSeed([]byte("alice"))
+	f.register(t, alice, "Alice", RoleCreator)
+	rec := f.verify(t, pub, alice.Address())
+	if !rec.OK {
+		t.Fatalf("verified publisher must verify: %+v", rec)
+	}
+}
+
+func TestUnverifiedPublisherCannotVerify(t *testing.T) {
+	f := newFixture(t)
+	pub := keys.FromSeed([]byte("pub"))
+	f.register(t, pub, "Publisher", RolePublisher) // still pending
+	alice := keys.FromSeed([]byte("alice"))
+	f.register(t, alice, "Alice", RoleCreator)
+	rec := f.verify(t, pub, alice.Address())
+	if rec.OK || !strings.Contains(rec.Err, "not authorized") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+}
+
+func TestConsumerCannotVerify(t *testing.T) {
+	f := newFixture(t)
+	reader := keys.FromSeed([]byte("reader"))
+	f.register(t, reader, "Reader", RoleConsumer)
+	alice := keys.FromSeed([]byte("alice"))
+	f.register(t, alice, "Alice", RoleCreator)
+	rec := f.verify(t, reader, alice.Address())
+	if rec.OK {
+		t.Fatal("consumer must not verify accounts")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	f := newFixture(t)
+	alice := keys.FromSeed([]byte("alice"))
+	f.register(t, alice, "Alice", RoleCreator)
+	f.verify(t, f.genesis, alice.Address())
+	payload, _ := ActPayload(alice.Address())
+	rec := f.exec(t, f.genesis, "revoke", payload)
+	if !rec.OK {
+		t.Fatalf("revoke: %+v", rec)
+	}
+	got, _ := Lookup(f.engine, alice.Address())
+	if got.Status != StatusRevoked {
+		t.Fatalf("status=%s", got.Status)
+	}
+	if IsVerified(f.engine, alice.Address(), RoleCreator) {
+		t.Fatal("revoked account still verified")
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	f := newFixture(t)
+	alice := keys.FromSeed([]byte("alice"))
+	f.register(t, alice, "Alice", RoleCreator)
+	rec := f.register(t, alice, "Alice Again", RoleConsumer)
+	if rec.OK || !strings.Contains(rec.Err, "already registered") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+}
+
+func TestBadRoleRejected(t *testing.T) {
+	f := newFixture(t)
+	alice := keys.FromSeed([]byte("alice"))
+	rec := f.exec(t, alice, "register", []byte(`{"name":"x","role":"overlord"}`))
+	if rec.OK || !strings.Contains(rec.Err, "unknown role") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+}
+
+func TestVerifyUnregisteredTarget(t *testing.T) {
+	f := newFixture(t)
+	ghost := keys.FromSeed([]byte("ghost"))
+	rec := f.verify(t, f.genesis, ghost.Address())
+	if rec.OK || !strings.Contains(rec.Err, "not registered") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	f := newFixture(t)
+	ghost := keys.FromSeed([]byte("ghost"))
+	if _, err := Lookup(f.engine, ghost.Address()); err == nil {
+		t.Fatal("want error for missing account")
+	}
+}
+
+func TestListAll(t *testing.T) {
+	f := newFixture(t)
+	for i, role := range []Role{RoleConsumer, RoleCreator, RoleFactChecker, RoleAIDeveloper, RolePublisher} {
+		kp := keys.FromSeed([]byte{byte(i)})
+		rec := f.register(t, kp, "user", role)
+		if !rec.OK {
+			t.Fatalf("register %s: %+v", role, rec)
+		}
+	}
+	recs, err := All(f.engine, f.genesis.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("listed %d records", len(recs))
+	}
+	roles := make(map[Role]bool)
+	for _, r := range recs {
+		roles[r.Role] = true
+	}
+	if len(roles) != 5 {
+		t.Fatalf("roles=%v", roles)
+	}
+}
+
+func TestRegistrationEventEmitted(t *testing.T) {
+	f := newFixture(t)
+	alice := keys.FromSeed([]byte("alice"))
+	rec := f.register(t, alice, "Alice", RoleCreator)
+	if len(rec.Events) != 1 || rec.Events[0].Type != "registered" {
+		t.Fatalf("events=%+v", rec.Events)
+	}
+	if rec.Events[0].Attrs["role"] != string(RoleCreator) {
+		t.Fatalf("attrs=%v", rec.Events[0].Attrs)
+	}
+}

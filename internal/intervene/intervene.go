@@ -1,0 +1,280 @@
+// Package intervene implements the paper's §VII personalization challenge:
+// "there is no single size fit all solution ... not all individuals will
+// have similar effectiveness to a given intervention mechanism. People are
+// asymmetrical updaters ... it is therefore important ... to identify,
+// tag, and categorize the different personal characteristics for
+// individual or different groups/communities, and develop various
+// intervention technologies accordingly."
+//
+// The model: after a fake item has spread for a few rounds, the platform
+// can deliver a correction to a *budgeted* number of reached users. A
+// corrected user who accepts the correction stops spreading the fake and
+// debunks it to their followers (a counter-cascade); acceptance depends on
+// the user's receptivity and is higher when the correction is routed
+// through the user's own community ("the fake news intervention can become
+// more effective if statements come from similar individual or groups",
+// §VI). Three targeting strategies are compared at equal budget:
+//
+//   - blanket: random reached users,
+//   - hub: highest-degree reached users,
+//   - personalized: ranked by expected corrections = receptivity ×
+//     follower count, delivered via in-community messengers.
+//
+// Experiment E14 measures residual fake reach and corrected share.
+package intervene
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/social"
+)
+
+// Strategy selects correction targets.
+type Strategy string
+
+// Targeting strategies.
+const (
+	StrategyBlanket      Strategy = "blanket"
+	StrategyHub          Strategy = "hub"
+	StrategyPersonalized Strategy = "personalized"
+)
+
+// AllStrategies lists every strategy for sweeps.
+var AllStrategies = []Strategy{StrategyBlanket, StrategyHub, StrategyPersonalized}
+
+// Errors returned by this package.
+var (
+	// ErrBadBudget indicates a non-positive correction budget.
+	ErrBadBudget = errors.New("intervene: budget must be positive")
+	// ErrUnknownStrategy indicates an unrecognized strategy.
+	ErrUnknownStrategy = errors.New("intervene: unknown strategy")
+)
+
+// Profile is a user's intervention-relevant traits.
+type Profile struct {
+	// Receptivity is the probability of accepting a correction delivered
+	// by a stranger. The population is asymmetric: most users are
+	// moderately receptive, a stubborn tail is nearly immune.
+	Receptivity float64
+	// InGroupBonus multiplies acceptance when the correction arrives
+	// through the user's own community.
+	InGroupBonus float64
+}
+
+// Profiles assigns deterministic traits to every account in the network.
+// The distribution encodes the paper's "asymmetrical updaters": ~25% of
+// users are stubborn (receptivity ≤ 0.1), the rest spread between 0.3 and
+// 0.9.
+func Profiles(net *social.Network, seed int64) []Profile {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Profile, net.Size())
+	for i := range out {
+		var r float64
+		if rng.Float64() < 0.25 {
+			r = 0.02 + 0.08*rng.Float64() // stubborn tail
+		} else {
+			r = 0.3 + 0.6*rng.Float64()
+		}
+		out[i] = Profile{Receptivity: r, InGroupBonus: 1.5}
+	}
+	return out
+}
+
+// Config drives one intervention simulation.
+type Config struct {
+	// HeadStart is the number of rounds the fake spreads uncorrected.
+	HeadStart int
+	// TotalRounds bounds the whole simulation.
+	TotalRounds int
+	// Budget is the number of corrections the platform can deliver.
+	Budget int
+	// Params tunes the fake item's cascade.
+	Params social.SpreadParams
+	// Seeds are the fake item's seed accounts.
+	Seeds []int
+	// RngSeed makes the run reproducible.
+	RngSeed int64
+}
+
+// Result summarizes one simulated intervention.
+type Result struct {
+	Strategy Strategy `json:"strategy"`
+	// EverMisled is the number of accounts the fake item ever reached —
+	// the exposure the intervention failed to prevent.
+	EverMisled int `json:"everMisled"`
+	// FakeReach is the number of accounts holding the fake belief at the
+	// end (reached and never corrected).
+	FakeReach int `json:"fakeReach"`
+	// Corrected is the number of accounts that accepted a correction.
+	Corrected int `json:"corrected"`
+	// InitialAccepts is how many of the budgeted deliveries were accepted
+	// (per-budget efficiency of the targeting).
+	InitialAccepts int `json:"initialAccepts"`
+	// Budget echoes the configured budget.
+	Budget int `json:"budget"`
+}
+
+// Run simulates a fake cascade with a budgeted correction campaign under
+// the given strategy.
+func Run(net *social.Network, profiles []Profile, strategy Strategy, cfg Config) (Result, error) {
+	if cfg.Budget <= 0 {
+		return Result{}, ErrBadBudget
+	}
+	rng := rand.New(rand.NewSource(cfg.RngSeed))
+
+	// Phase 1: the fake spreads uncorrected for HeadStart rounds.
+	reached := make(map[int]bool, len(cfg.Seeds))
+	frontier := append([]int(nil), cfg.Seeds...)
+	for _, s := range cfg.Seeds {
+		reached[s] = true
+	}
+	corrected := make(map[int]bool)
+	// immune users saw a debunk before the fake reached them
+	// (inoculation/prebunking) and will not believe or spread it.
+	immune := make(map[int]bool)
+	spreadRound := func(active []int) []int {
+		var next []int
+		for _, u := range active {
+			if corrected[u] {
+				continue // corrected users stop spreading
+			}
+			prob := cfg.Params.BaseShare * cfg.Params.FakeBoost
+			if net.UserAt(u).Kind != social.KindRegular {
+				prob *= cfg.Params.BotBoost
+			}
+			if prob > 1 {
+				prob = 1
+			}
+			for _, f := range net.Followers(u) {
+				if reached[f] || corrected[f] || immune[f] {
+					continue
+				}
+				if rng.Float64() < prob {
+					reached[f] = true
+					next = append(next, f)
+				}
+			}
+		}
+		return next
+	}
+	round := 0
+	for ; round < cfg.HeadStart && len(frontier) > 0; round++ {
+		frontier = spreadRound(frontier)
+	}
+
+	// Phase 2: the platform spends its correction budget.
+	targets, err := pickTargets(net, profiles, strategy, reached, cfg.Budget, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	debunkFrontier := deliver(net, profiles, strategy, targets, corrected, rng)
+	initialAccepts := len(debunkFrontier)
+
+	// Phase 3: fake spread and debunk counter-cascade proceed together.
+	for ; round < cfg.TotalRounds && (len(frontier) > 0 || len(debunkFrontier) > 0); round++ {
+		frontier = spreadRound(frontier)
+		debunkFrontier = debunkRound(net, profiles, debunkFrontier, reached, corrected, immune, rng)
+	}
+
+	res := Result{
+		Strategy: strategy, Budget: cfg.Budget,
+		Corrected: len(corrected), InitialAccepts: initialAccepts,
+		EverMisled: len(reached),
+	}
+	for u := range reached {
+		if !corrected[u] {
+			res.FakeReach++
+		}
+	}
+	return res, nil
+}
+
+// pickTargets selects which reached users receive the correction.
+func pickTargets(net *social.Network, profiles []Profile, strategy Strategy, reached map[int]bool, budget int, rng *rand.Rand) ([]int, error) {
+	users := make([]int, 0, len(reached))
+	for u := range reached {
+		users = append(users, u)
+	}
+	sort.Ints(users) // determinism
+	switch strategy {
+	case StrategyBlanket:
+		rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
+	case StrategyHub:
+		sort.SliceStable(users, func(i, j int) bool {
+			return len(net.Followers(users[i])) > len(net.Followers(users[j]))
+		})
+	case StrategyPersonalized:
+		// Expected corrections if targeted: own acceptance × (1 + reach
+		// of their debunk) — receptive, connected users first.
+		score := func(u int) float64 {
+			p := profiles[u]
+			return p.Receptivity * float64(1+len(net.Followers(u)))
+		}
+		sort.SliceStable(users, func(i, j int) bool { return score(users[i]) > score(users[j]) })
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStrategy, strategy)
+	}
+	if budget < len(users) {
+		users = users[:budget]
+	}
+	return users, nil
+}
+
+// deliver attempts the corrections; accepted users become the debunk
+// counter-cascade's frontier.
+func deliver(net *social.Network, profiles []Profile, strategy Strategy, targets []int, corrected map[int]bool, rng *rand.Rand) []int {
+	var frontier []int
+	for _, u := range targets {
+		p := profiles[u].Receptivity
+		if strategy == StrategyPersonalized {
+			// Personalized delivery routes the message through the user's
+			// community, earning the in-group bonus.
+			p *= profiles[u].InGroupBonus
+		}
+		if p > 1 {
+			p = 1
+		}
+		if rng.Float64() < p {
+			corrected[u] = true
+			frontier = append(frontier, u)
+		}
+	}
+	return frontier
+}
+
+// debunkRound spreads corrections from corrected users to their followers.
+// A misled follower who accepts is corrected and keeps debunking; a
+// not-yet-misled follower who accepts is inoculated (prebunking) and will
+// never believe the fake, but does not propagate the debunk further.
+// In-group hops get the acceptance bonus (§VI: corrections from similar
+// groups are more effective).
+func debunkRound(net *social.Network, profiles []Profile, frontier []int, reached, corrected, immune map[int]bool, rng *rand.Rand) []int {
+	var next []int
+	for _, u := range frontier {
+		for _, f := range net.Followers(u) {
+			if corrected[f] || immune[f] {
+				continue
+			}
+			p := profiles[f].Receptivity
+			if net.UserAt(u).Group == net.UserAt(f).Group {
+				p *= profiles[f].InGroupBonus
+			}
+			if p > 1 {
+				p = 1
+			}
+			if rng.Float64() >= p {
+				continue
+			}
+			if reached[f] {
+				corrected[f] = true
+				next = append(next, f)
+				continue
+			}
+			immune[f] = true
+		}
+	}
+	return next
+}

@@ -1,0 +1,179 @@
+package intervene
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/social"
+)
+
+func testNet(t testing.TB) (*social.Network, []Profile) {
+	t.Helper()
+	cfg := social.DefaultConfig()
+	cfg.Users, cfg.Bots, cfg.Cyborgs = 1500, 100, 60
+	net, err := social.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, Profiles(net, 5)
+}
+
+func baseConfig(net *social.Network, rngSeed int64) Config {
+	return Config{
+		HeadStart:   3,
+		TotalRounds: 14,
+		Budget:      60,
+		Params:      social.DefaultSpreadParams(),
+		Seeds:       net.BotSeeds(6),
+		RngSeed:     rngSeed,
+	}
+}
+
+// strategyStats averages the metrics of repeated runs.
+type strategyStats struct {
+	everMisled, fakeReach, corrected, accepts float64
+}
+
+func avgRuns(t testing.TB, net *social.Network, profiles []Profile, s Strategy, runs int) strategyStats {
+	t.Helper()
+	var st strategyStats
+	for i := 0; i < runs; i++ {
+		cfg := baseConfig(net, int64(100+i))
+		res, err := Run(net, profiles, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.everMisled += float64(res.EverMisled)
+		st.fakeReach += float64(res.FakeReach)
+		st.corrected += float64(res.Corrected)
+		st.accepts += float64(res.InitialAccepts)
+	}
+	st.everMisled /= float64(runs)
+	st.fakeReach /= float64(runs)
+	st.corrected /= float64(runs)
+	st.accepts /= float64(runs)
+	return st
+}
+
+func TestProfilesShape(t *testing.T) {
+	net, profiles := testNet(t)
+	if len(profiles) != net.Size() {
+		t.Fatalf("profiles=%d size=%d", len(profiles), net.Size())
+	}
+	stubborn := 0
+	for _, p := range profiles {
+		if p.Receptivity < 0 || p.Receptivity > 1 {
+			t.Fatalf("receptivity=%f", p.Receptivity)
+		}
+		if p.Receptivity <= 0.1 {
+			stubborn++
+		}
+	}
+	frac := float64(stubborn) / float64(len(profiles))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("stubborn fraction=%.3f want ~0.25", frac)
+	}
+}
+
+func TestRunGuards(t *testing.T) {
+	net, profiles := testNet(t)
+	cfg := baseConfig(net, 1)
+	cfg.Budget = 0
+	if _, err := Run(net, profiles, StrategyBlanket, cfg); !errors.Is(err, ErrBadBudget) {
+		t.Fatalf("want ErrBadBudget, got %v", err)
+	}
+	cfg.Budget = 10
+	if _, err := Run(net, profiles, Strategy("nope"), cfg); !errors.Is(err, ErrUnknownStrategy) {
+		t.Fatalf("want ErrUnknownStrategy, got %v", err)
+	}
+}
+
+func TestInterventionReducesFakeBelief(t *testing.T) {
+	net, profiles := testNet(t)
+	// Tiny vs full budget, averaged over runs (single runs are noisy
+	// because all phases share one RNG stream).
+	avg := func(budget int) (misled, residual float64) {
+		const runs = 12
+		for i := 0; i < runs; i++ {
+			cfg := baseConfig(net, int64(500+i))
+			cfg.Budget = budget
+			res, err := Run(net, profiles, StrategyPersonalized, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			misled += float64(res.EverMisled)
+			residual += float64(res.FakeReach)
+		}
+		return misled / runs, residual / runs
+	}
+	tinyMisled, tinyResidual := avg(1)
+	fullMisled, fullResidual := avg(200)
+	if fullMisled >= tinyMisled {
+		t.Fatalf("bigger budget did not reduce exposure: %.1f vs %.1f", fullMisled, tinyMisled)
+	}
+	if fullResidual >= tinyResidual {
+		t.Fatalf("bigger budget did not reduce residual belief: %.1f vs %.1f", fullResidual, tinyResidual)
+	}
+}
+
+func TestPersonalizedPreventsMoreExposure(t *testing.T) {
+	// The systematic orderings (see E14): personalized targeting stops
+	// the fake cascade earlier (fewest ever-misled) and converts nearly
+	// its whole budget, while blanket relies on the post-hoc debunk
+	// cascade percolating through a larger misled population.
+	net, profiles := testNet(t)
+	const runs = 20
+	blanket := avgRuns(t, net, profiles, StrategyBlanket, runs)
+	pers := avgRuns(t, net, profiles, StrategyPersonalized, runs)
+	if pers.everMisled >= blanket.everMisled {
+		t.Fatalf("personalized misled %.1f >= blanket %.1f", pers.everMisled, blanket.everMisled)
+	}
+	if pers.accepts <= blanket.accepts {
+		t.Fatalf("personalized accepts %.1f <= blanket %.1f", pers.accepts, blanket.accepts)
+	}
+}
+
+func TestPersonalizedBeatsHubOnExposure(t *testing.T) {
+	// Degree-only targeting is receptivity-blind: budget lands on stubborn
+	// hubs and is wasted at delivery — the §VII argument for
+	// personalization.
+	net, profiles := testNet(t)
+	const runs = 20
+	hub := avgRuns(t, net, profiles, StrategyHub, runs)
+	pers := avgRuns(t, net, profiles, StrategyPersonalized, runs)
+	if pers.everMisled >= hub.everMisled {
+		t.Fatalf("personalized misled %.1f >= hub %.1f", pers.everMisled, hub.everMisled)
+	}
+	if pers.accepts <= hub.accepts {
+		t.Fatalf("personalized accepts %.1f <= hub %.1f", pers.accepts, hub.accepts)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	net, profiles := testNet(t)
+	cfg := baseConfig(net, 7)
+	a, err := Run(net, profiles, StrategyPersonalized, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(net, profiles, StrategyPersonalized, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestCorrectedNeverExceedsReached(t *testing.T) {
+	net, profiles := testNet(t)
+	for _, s := range AllStrategies {
+		res, err := Run(net, profiles, s, baseConfig(net, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FakeReach < 0 || res.Corrected < 0 {
+			t.Fatalf("negative counts: %+v", res)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package keys provides the cryptographic identity primitives used across
+// the platform: ed25519 key pairs, deterministic addresses derived from
+// public keys, and detached signatures over arbitrary payloads.
+//
+// Every actor in the trusting-news ecosystem (journalist, fact checker,
+// reader, publisher, AI tool developer) holds a KeyPair; its Address is the
+// account identifier recorded on the ledger, which is what gives the paper's
+// accountability property: "each record is signed and easy to track".
+package keys
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// AddressSize is the length in bytes of an Address.
+const AddressSize = 20
+
+// Errors returned by this package.
+var (
+	// ErrBadSignature indicates a signature that does not verify against
+	// the claimed public key and message.
+	ErrBadSignature = errors.New("keys: signature verification failed")
+	// ErrBadAddress indicates an address string that cannot be parsed.
+	ErrBadAddress = errors.New("keys: malformed address")
+	// ErrBadPublicKey indicates a public key of the wrong size.
+	ErrBadPublicKey = errors.New("keys: malformed public key")
+)
+
+// Address is a short account identifier derived from a public key by
+// truncated SHA-256, analogous to Ethereum's address derivation.
+type Address [AddressSize]byte
+
+// ZeroAddress is the all-zero address. It is used as the "system" account
+// for genesis records and is never a valid signer.
+var ZeroAddress Address
+
+// AddressFromPub derives the address for an ed25519 public key.
+func AddressFromPub(pub ed25519.PublicKey) Address {
+	var a Address
+	sum := sha256.Sum256(pub)
+	copy(a[:], sum[:AddressSize])
+	return a
+}
+
+// ParseAddress decodes a hex address string produced by Address.String.
+func ParseAddress(s string) (Address, error) {
+	var a Address
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != AddressSize {
+		return a, fmt.Errorf("%w: %q", ErrBadAddress, s)
+	}
+	copy(a[:], raw)
+	return a, nil
+}
+
+// String renders the address as lowercase hex.
+func (a Address) String() string { return hex.EncodeToString(a[:]) }
+
+// Short returns an abbreviated display form (first 8 hex chars).
+func (a Address) Short() string { return hex.EncodeToString(a[:4]) }
+
+// IsZero reports whether the address is the zero (system) address.
+func (a Address) IsZero() bool { return a == ZeroAddress }
+
+// Bytes returns a copy of the address bytes.
+func (a Address) Bytes() []byte {
+	out := make([]byte, AddressSize)
+	copy(out, a[:])
+	return out
+}
+
+// KeyPair bundles an ed25519 private/public key pair with the derived
+// ledger address.
+type KeyPair struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+	addr Address
+}
+
+// Generate creates a new random key pair using the supplied entropy source.
+// Pass nil to use crypto/rand.
+func Generate(rand io.Reader) (*KeyPair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("keys: generate: %w", err)
+	}
+	return &KeyPair{priv: priv, pub: pub, addr: AddressFromPub(pub)}, nil
+}
+
+// FromSeed derives a deterministic key pair from a 32-byte seed. Seeds
+// shorter or longer than ed25519.SeedSize are hashed to size first, which
+// makes test fixtures convenient ("FromSeed([]byte("alice"))").
+func FromSeed(seed []byte) *KeyPair {
+	if len(seed) != ed25519.SeedSize {
+		sum := sha256.Sum256(seed)
+		seed = sum[:]
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub, _ := priv.Public().(ed25519.PublicKey)
+	return &KeyPair{priv: priv, pub: pub, addr: AddressFromPub(pub)}
+}
+
+// Address returns the ledger address for this key pair.
+func (k *KeyPair) Address() Address { return k.addr }
+
+// Public returns the public key.
+func (k *KeyPair) Public() ed25519.PublicKey {
+	out := make(ed25519.PublicKey, len(k.pub))
+	copy(out, k.pub)
+	return out
+}
+
+// Sign produces a detached signature over msg.
+func (k *KeyPair) Sign(msg []byte) []byte {
+	return ed25519.Sign(k.priv, msg)
+}
+
+// Verify checks a detached signature against a public key. It returns
+// ErrBadSignature when verification fails.
+func Verify(pub ed25519.PublicKey, msg, sig []byte) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return ErrBadPublicKey
+	}
+	if !ed25519.Verify(pub, msg, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// VerifyAddress checks the signature and additionally that the public key
+// hashes to the expected address, binding the signature to a ledger account.
+func VerifyAddress(addr Address, pub ed25519.PublicKey, msg, sig []byte) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return ErrBadPublicKey
+	}
+	if AddressFromPub(pub) != addr {
+		return fmt.Errorf("%w: public key does not match address %s", ErrBadSignature, addr.Short())
+	}
+	return Verify(pub, msg, sig)
+}

@@ -1,0 +1,185 @@
+package keys
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateAndSign(t *testing.T) {
+	kp, err := Generate(nil)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	msg := []byte("breaking: senate passes bill 1234")
+	sig := kp.Sign(msg)
+	if err := Verify(kp.Public(), msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	kp := FromSeed([]byte("alice"))
+	msg := []byte("original report")
+	sig := kp.Sign(msg)
+	tampered := []byte("original report!")
+	if err := Verify(kp.Public(), tampered, sig); err == nil {
+		t.Fatal("want error for tampered message, got nil")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	alice := FromSeed([]byte("alice"))
+	bob := FromSeed([]byte("bob"))
+	msg := []byte("report")
+	sig := alice.Sign(msg)
+	if err := Verify(bob.Public(), msg, sig); err == nil {
+		t.Fatal("want error for wrong key, got nil")
+	}
+}
+
+func TestVerifyRejectsShortPublicKey(t *testing.T) {
+	if err := Verify(ed25519.PublicKey{1, 2, 3}, []byte("m"), []byte("s")); err != ErrBadPublicKey {
+		t.Fatalf("want ErrBadPublicKey, got %v", err)
+	}
+}
+
+func TestFromSeedDeterministic(t *testing.T) {
+	a := FromSeed([]byte("journalist-7"))
+	b := FromSeed([]byte("journalist-7"))
+	if a.Address() != b.Address() {
+		t.Fatal("same seed must yield same address")
+	}
+	c := FromSeed([]byte("journalist-8"))
+	if a.Address() == c.Address() {
+		t.Fatal("different seeds must yield different addresses")
+	}
+}
+
+func TestAddressRoundTrip(t *testing.T) {
+	kp := FromSeed([]byte("x"))
+	addr := kp.Address()
+	parsed, err := ParseAddress(addr.String())
+	if err != nil {
+		t.Fatalf("ParseAddress: %v", err)
+	}
+	if parsed != addr {
+		t.Fatalf("round trip mismatch: %s vs %s", parsed, addr)
+	}
+}
+
+func TestParseAddressRejectsGarbage(t *testing.T) {
+	cases := []string{"", "zz", "deadbeef", "0123456789abcdef0123456789abcdef0123456789"}
+	for _, c := range cases {
+		if _, err := ParseAddress(c); err == nil {
+			t.Errorf("ParseAddress(%q): want error", c)
+		}
+	}
+}
+
+func TestZeroAddress(t *testing.T) {
+	if !ZeroAddress.IsZero() {
+		t.Fatal("ZeroAddress.IsZero() must be true")
+	}
+	if FromSeed([]byte("a")).Address().IsZero() {
+		t.Fatal("derived address must not be zero")
+	}
+}
+
+func TestVerifyAddressBindsKey(t *testing.T) {
+	alice := FromSeed([]byte("alice"))
+	bob := FromSeed([]byte("bob"))
+	msg := []byte("claim")
+	sig := bob.Sign(msg)
+	// Signature is valid for bob's key but claims alice's address.
+	if err := VerifyAddress(alice.Address(), bob.Public(), msg, sig); err == nil {
+		t.Fatal("want address binding failure")
+	}
+	if err := VerifyAddress(bob.Address(), bob.Public(), msg, sig); err != nil {
+		t.Fatalf("valid binding rejected: %v", err)
+	}
+}
+
+func TestAddressBytesIsCopy(t *testing.T) {
+	kp := FromSeed([]byte("a"))
+	addr := kp.Address()
+	b := addr.Bytes()
+	b[0] ^= 0xff
+	if bytes.Equal(b, addr.Bytes()) {
+		t.Fatal("Bytes must return a copy")
+	}
+}
+
+func TestPublicIsCopy(t *testing.T) {
+	kp := FromSeed([]byte("a"))
+	p := kp.Public()
+	p[0] ^= 0xff
+	if bytes.Equal(p, kp.Public()) {
+		t.Fatal("Public must return a copy")
+	}
+}
+
+// Property: signatures over arbitrary messages always verify with the
+// signing key and never verify after a single-bit flip in the message.
+func TestSignVerifyProperty(t *testing.T) {
+	kp := FromSeed([]byte("prop"))
+	f := func(msg []byte, flip uint) bool {
+		sig := kp.Sign(msg)
+		if Verify(kp.Public(), msg, sig) != nil {
+			return false
+		}
+		if len(msg) == 0 {
+			return true
+		}
+		mutated := make([]byte, len(msg))
+		copy(mutated, msg)
+		i := int(flip % uint(len(mutated)))
+		mutated[i] ^= 1
+		return Verify(kp.Public(), mutated, sig) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: address derivation is injective for distinct seeds in practice.
+func TestAddressCollisionProperty(t *testing.T) {
+	seen := make(map[Address]string)
+	f := func(seed []byte) bool {
+		kp := FromSeed(seed)
+		prev, ok := seen[kp.Address()]
+		if ok && prev != string(seed) {
+			return false
+		}
+		seen[kp.Address()] = string(seed)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	kp := FromSeed([]byte("bench"))
+	msg := bytes.Repeat([]byte("news"), 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kp.Sign(msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	kp := FromSeed([]byte("bench"))
+	msg := bytes.Repeat([]byte("news"), 256)
+	sig := kp.Sign(msg)
+	pub := kp.Public()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(pub, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Errors returned by chain operations.
+var (
+	// ErrBadHeight indicates a block whose height is not head+1.
+	ErrBadHeight = errors.New("ledger: block height out of sequence")
+	// ErrBadParent indicates a block whose Prev does not match the head.
+	ErrBadParent = errors.New("ledger: block parent mismatch")
+	// ErrBadNonce indicates a transaction with an unexpected sender nonce.
+	ErrBadNonce = errors.New("ledger: bad transaction nonce")
+	// ErrBlockNotFound indicates an unknown block height or id.
+	ErrBlockNotFound = errors.New("ledger: block not found")
+	// ErrTxNotFound indicates an unknown transaction id.
+	ErrTxNotFound = errors.New("ledger: transaction not found")
+)
+
+// TxLocation records where a committed transaction lives.
+type TxLocation struct {
+	Height  uint64
+	Index   int
+	BlockID BlockID
+}
+
+// Chain is the validated, append-only block chain. It enforces height and
+// parent linkage, body validity, and strictly-increasing per-sender nonces,
+// and maintains hash indexes for O(1) lookups of blocks and transactions.
+//
+// The nonce discipline is what makes every platform action attributable and
+// replay-proof: an adversary cannot re-submit someone else's signed vote.
+type Chain struct {
+	mu      sync.RWMutex
+	log     store.Log
+	byID    map[BlockID]uint64
+	txIndex map[TxID]TxLocation
+	nonces  map[string]uint64 // next expected nonce per sender address
+	head    *Block
+}
+
+// NewChain creates a chain over the given block log. If the log is
+// non-empty it is replayed and re-validated, so a tampered block store is
+// rejected at startup.
+func NewChain(log store.Log) (*Chain, error) {
+	c := &Chain{
+		log:     log,
+		byID:    make(map[BlockID]uint64),
+		txIndex: make(map[TxID]TxLocation),
+		nonces:  make(map[string]uint64),
+	}
+	n := log.Len()
+	for i := uint64(0); i < n; i++ {
+		raw, err := log.Get(i)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
+		}
+		b, err := DecodeBlock(raw)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
+		}
+		if err := c.validateLinkage(b); err != nil {
+			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
+		}
+		if err := b.ValidateBody(); err != nil {
+			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
+		}
+		c.index(b)
+	}
+	return c, nil
+}
+
+// NewMemChain creates an empty in-memory chain, the common test setup.
+func NewMemChain() *Chain {
+	c, err := NewChain(store.NewMemLog())
+	if err != nil {
+		// An empty MemLog cannot fail to replay.
+		panic(err)
+	}
+	return c
+}
+
+// Height returns the number of committed blocks.
+func (c *Chain) Height() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.head == nil {
+		return 0
+	}
+	return c.head.Header.Height + 1
+}
+
+// Head returns the latest block, or nil for an empty chain.
+func (c *Chain) Head() *Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head
+}
+
+// HeadID returns the id of the latest block, or the zero id when empty.
+func (c *Chain) HeadID() BlockID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.head == nil {
+		return BlockID{}
+	}
+	return c.head.ID()
+}
+
+// NextNonce returns the next expected nonce for a sender.
+func (c *Chain) NextNonce(sender string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nonces[sender]
+}
+
+func (c *Chain) validateLinkage(b *Block) error {
+	var wantHeight uint64
+	var wantPrev BlockID
+	if c.head != nil {
+		wantHeight = c.head.Header.Height + 1
+		wantPrev = c.head.ID()
+	}
+	if b.Header.Height != wantHeight {
+		return fmt.Errorf("%w: got %d want %d", ErrBadHeight, b.Header.Height, wantHeight)
+	}
+	if b.Header.Prev != wantPrev {
+		return fmt.Errorf("%w: got %s want %s", ErrBadParent, b.Header.Prev.Short(), wantPrev.Short())
+	}
+	// Nonce check against a scratch copy so partially-valid blocks do not
+	// mutate chain state.
+	scratch := make(map[string]uint64)
+	for i, t := range b.Txs {
+		key := t.Sender.String()
+		next, seen := scratch[key]
+		if !seen {
+			next = c.nonces[key]
+		}
+		if t.Nonce != next {
+			return fmt.Errorf("%w: tx %d sender %s nonce %d want %d", ErrBadNonce, i, t.Sender.Short(), t.Nonce, next)
+		}
+		scratch[key] = next + 1
+	}
+	return nil
+}
+
+func (c *Chain) index(b *Block) {
+	id := b.ID()
+	c.byID[id] = b.Header.Height
+	for i, t := range b.Txs {
+		c.txIndex[t.ID()] = TxLocation{Height: b.Header.Height, Index: i, BlockID: id}
+		key := t.Sender.String()
+		c.nonces[key] = t.Nonce + 1
+	}
+	c.head = b
+}
+
+// Append validates and commits a block.
+func (c *Chain) Append(b *Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.validateLinkage(b); err != nil {
+		return err
+	}
+	if err := b.ValidateBody(); err != nil {
+		return err
+	}
+	if _, err := c.log.Append(b.Encode()); err != nil {
+		return fmt.Errorf("ledger: persist block %d: %w", b.Header.Height, err)
+	}
+	c.index(b)
+	return nil
+}
+
+// BlockAt returns the block at the given height.
+func (c *Chain) BlockAt(height uint64) (*Block, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.head == nil || height > c.head.Header.Height {
+		return nil, fmt.Errorf("%w: height %d", ErrBlockNotFound, height)
+	}
+	raw, err := c.log.Get(height)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: load block %d: %w", height, err)
+	}
+	return DecodeBlock(raw)
+}
+
+// BlockByID returns the block with the given id.
+func (c *Chain) BlockByID(id BlockID) (*Block, error) {
+	c.mu.RLock()
+	h, ok := c.byID[id]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: id %s", ErrBlockNotFound, id.Short())
+	}
+	return c.BlockAt(h)
+}
+
+// FindTx returns a committed transaction and its location.
+func (c *Chain) FindTx(id TxID) (*Tx, TxLocation, error) {
+	c.mu.RLock()
+	loc, ok := c.txIndex[id]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, TxLocation{}, fmt.Errorf("%w: id %s", ErrTxNotFound, id.Short())
+	}
+	b, err := c.BlockAt(loc.Height)
+	if err != nil {
+		return nil, TxLocation{}, err
+	}
+	return b.Txs[loc.Index], loc, nil
+}
+
+// Walk iterates committed blocks from height from (inclusive) upward,
+// calling fn for each; fn returning false stops the walk. Used by the
+// supply-chain graph builder and the expert miner to scan ledger history.
+func (c *Chain) Walk(from uint64, fn func(*Block) bool) error {
+	for h := from; ; h++ {
+		b, err := c.BlockAt(h)
+		if errors.Is(err, ErrBlockNotFound) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(b) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package ledger
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeTx checks that arbitrary bytes never panic the transaction
+// decoder and that valid round-trips are stable.
+func FuzzDecodeTx(f *testing.F) {
+	alice := signer("fuzz")
+	tx, err := NewTx(alice, 7, "news.publish", []byte("payload"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tx.Encode())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		decoded, err := DecodeTx(raw)
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		// A successful decode must re-encode to the identical bytes.
+		if !bytes.Equal(decoded.Encode(), raw) {
+			t.Fatalf("re-encode mismatch for %x", raw)
+		}
+	})
+}
+
+// FuzzDecodeBlock checks the block decoder likewise.
+func FuzzDecodeBlock(f *testing.F) {
+	alice := signer("fuzz")
+	tx, err := NewTx(alice, 0, "k.m", []byte("p"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	blk := NewBlock(3, BlockID{1}, [32]byte{2}, testTime, alice.Address(), []*Tx{tx})
+	f.Add(blk.Encode())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, 100))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		decoded, err := DecodeBlock(raw)
+		if err != nil {
+			return
+		}
+		if decoded.Header.Height > 1<<62 {
+			return // arbitrary but valid parse; nothing more to check
+		}
+		_ = decoded.ID()
+	})
+}

@@ -1,0 +1,147 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by the mempool.
+var (
+	// ErrMempoolFull indicates the pool reached capacity.
+	ErrMempoolFull = errors.New("ledger: mempool full")
+	// ErrDuplicateTx indicates a transaction already pending.
+	ErrDuplicateTx = errors.New("ledger: duplicate transaction")
+	// ErrStaleNonce indicates a nonce at or below the committed nonce.
+	ErrStaleNonce = errors.New("ledger: stale nonce")
+)
+
+// Mempool holds verified, uncommitted transactions and assembles
+// nonce-ordered batches for the block proposer.
+type Mempool struct {
+	mu      sync.Mutex
+	cap     int
+	pending map[TxID]*Tx
+	// bySender keeps pending txs per sender for nonce-ordered selection.
+	bySender map[string][]*Tx
+	chain    *Chain
+}
+
+// NewMempool creates a pool bounded at capacity (0 means 4096).
+func NewMempool(chain *Chain, capacity int) *Mempool {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Mempool{
+		cap:      capacity,
+		pending:  make(map[TxID]*Tx),
+		bySender: make(map[string][]*Tx),
+		chain:    chain,
+	}
+}
+
+// Add verifies and enqueues a transaction.
+func (m *Mempool) Add(t *Tx) error {
+	if err := t.Verify(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.pending) >= m.cap {
+		return ErrMempoolFull
+	}
+	id := t.ID()
+	if _, ok := m.pending[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateTx, id.Short())
+	}
+	if m.chain != nil && t.Nonce < m.chain.NextNonce(t.Sender.String()) {
+		return fmt.Errorf("%w: sender %s nonce %d", ErrStaleNonce, t.Sender.Short(), t.Nonce)
+	}
+	m.pending[id] = t
+	key := t.Sender.String()
+	m.bySender[key] = append(m.bySender[key], t)
+	return nil
+}
+
+// Size returns the number of pending transactions.
+func (m *Mempool) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// Batch selects up to max transactions forming a valid nonce sequence per
+// sender, starting from the chain's committed nonces. Senders are visited
+// in sorted order for determinism.
+func (m *Mempool) Batch(max int) []*Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if max <= 0 {
+		max = len(m.pending)
+	}
+	senders := make([]string, 0, len(m.bySender))
+	for s := range m.bySender {
+		senders = append(senders, s)
+	}
+	sort.Strings(senders)
+
+	var out []*Tx
+	for _, s := range senders {
+		if len(out) >= max {
+			break
+		}
+		txs := m.bySender[s]
+		sort.Slice(txs, func(i, j int) bool { return txs[i].Nonce < txs[j].Nonce })
+		next := uint64(0)
+		if m.chain != nil {
+			next = m.chain.NextNonce(s)
+		}
+		for _, t := range txs {
+			if len(out) >= max {
+				break
+			}
+			if t.Nonce < next {
+				continue // stale, will be pruned on Remove
+			}
+			if t.Nonce > next {
+				break // gap: later nonces unusable this block
+			}
+			out = append(out, t)
+			next++
+		}
+	}
+	return out
+}
+
+// Remove drops the given transactions (after commit) and prunes any
+// now-stale nonces from the same senders.
+func (m *Mempool) Remove(txs []*Tx) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range txs {
+		delete(m.pending, t.ID())
+	}
+	for s, list := range m.bySender {
+		next := uint64(0)
+		if m.chain != nil {
+			next = m.chain.NextNonce(s)
+		}
+		keep := list[:0]
+		for _, t := range list {
+			if _, ok := m.pending[t.ID()]; !ok {
+				continue
+			}
+			if t.Nonce < next {
+				delete(m.pending, t.ID())
+				continue
+			}
+			keep = append(keep, t)
+		}
+		if len(keep) == 0 {
+			delete(m.bySender, s)
+			continue
+		}
+		m.bySender[s] = keep
+	}
+}

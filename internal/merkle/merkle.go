@@ -1,0 +1,251 @@
+// Package merkle implements binary Merkle trees with inclusion proofs.
+//
+// The factual database (internal/factdb) anchors its records under a Merkle
+// root so that any record can prove membership in the ground-truth set, and
+// the ledger uses Merkle roots to commit to the transactions in each block —
+// the paper's "once the data in the block has been tampered with, it can be
+// easily detected" property.
+//
+// Leaf and interior hashes are domain-separated (RFC 6962 style) so a leaf
+// can never be confused with an interior node, preventing second-preimage
+// proof forgeries.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the size of a tree hash in bytes.
+const HashSize = sha256.Size
+
+// Domain-separation prefixes (RFC 6962).
+const (
+	leafPrefix     = 0x00
+	interiorPrefix = 0x01
+)
+
+// Errors returned by this package.
+var (
+	// ErrEmptyTree indicates an operation that requires at least one leaf.
+	ErrEmptyTree = errors.New("merkle: empty tree")
+	// ErrIndexRange indicates a leaf index outside the tree.
+	ErrIndexRange = errors.New("merkle: leaf index out of range")
+	// ErrProofInvalid indicates a proof that fails verification.
+	ErrProofInvalid = errors.New("merkle: proof verification failed")
+)
+
+// Hash is a node hash in the tree.
+type Hash [HashSize]byte
+
+// String renders the hash as lowercase hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Short returns the first 8 hex characters for display.
+func (h Hash) Short() string { return hex.EncodeToString(h[:4]) }
+
+// IsZero reports whether h is the all-zero hash.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// HashLeaf computes the domain-separated hash of a leaf payload.
+func HashLeaf(data []byte) Hash {
+	d := sha256.New()
+	d.Write([]byte{leafPrefix})
+	d.Write(data)
+	var h Hash
+	d.Sum(h[:0])
+	return h
+}
+
+// HashInterior computes the domain-separated hash of two child hashes.
+func HashInterior(left, right Hash) Hash {
+	d := sha256.New()
+	d.Write([]byte{interiorPrefix})
+	d.Write(left[:])
+	d.Write(right[:])
+	var h Hash
+	d.Sum(h[:0])
+	return h
+}
+
+// Root computes the Merkle root of the given leaves without materialising
+// the tree. An empty leaf set hashes to the hash of an empty string with the
+// leaf prefix, which keeps "no transactions" distinguishable from "one empty
+// transaction" is impossible — instead we reserve the zero Hash for empty.
+func Root(leaves [][]byte) Hash {
+	if len(leaves) == 0 {
+		return Hash{}
+	}
+	level := make([]Hash, len(leaves))
+	for i, leaf := range leaves {
+		level[i] = HashLeaf(leaf)
+	}
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				// Odd node is promoted by pairing with itself, which keeps
+				// proofs simple and is safe under domain separation.
+				next = append(next, HashInterior(level[i], level[i]))
+				continue
+			}
+			next = append(next, HashInterior(level[i], level[i+1]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// ProofStep is one sibling hash on the path from a leaf to the root.
+type ProofStep struct {
+	Sibling Hash `json:"sibling"`
+	// Left reports whether the sibling is the left operand when hashing.
+	Left bool `json:"left"`
+}
+
+// Proof is an inclusion proof for a single leaf.
+type Proof struct {
+	LeafIndex int         `json:"leafIndex"`
+	LeafCount int         `json:"leafCount"`
+	Steps     []ProofStep `json:"steps"`
+}
+
+// Tree is an immutable Merkle tree over a fixed leaf set. Build one with
+// New; use Proof to extract inclusion proofs.
+type Tree struct {
+	levels [][]Hash // levels[0] = leaf hashes, last = [root]
+	count  int
+}
+
+// New builds a tree over the given leaves. It returns ErrEmptyTree for an
+// empty leaf set.
+func New(leaves [][]byte) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, ErrEmptyTree
+	}
+	level := make([]Hash, len(leaves))
+	for i, leaf := range leaves {
+		level[i] = HashLeaf(leaf)
+	}
+	t := &Tree{count: len(leaves)}
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, HashInterior(level[i], level[i]))
+				continue
+			}
+			next = append(next, HashInterior(level[i], level[i+1]))
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// Root returns the root hash of the tree.
+func (t *Tree) Root() Hash { return t.levels[len(t.levels)-1][0] }
+
+// Count returns the number of leaves.
+func (t *Tree) Count() int { return t.count }
+
+// Proof builds an inclusion proof for the leaf at index i.
+func (t *Tree) Proof(i int) (Proof, error) {
+	if i < 0 || i >= t.count {
+		return Proof{}, fmt.Errorf("%w: %d of %d", ErrIndexRange, i, t.count)
+	}
+	p := Proof{LeafIndex: i, LeafCount: t.count}
+	idx := i
+	for depth := 0; depth < len(t.levels)-1; depth++ {
+		level := t.levels[depth]
+		var step ProofStep
+		if idx%2 == 0 {
+			sib := idx
+			if idx+1 < len(level) {
+				sib = idx + 1
+			}
+			step = ProofStep{Sibling: level[sib], Left: false}
+		} else {
+			step = ProofStep{Sibling: level[idx-1], Left: true}
+		}
+		p.Steps = append(p.Steps, step)
+		idx /= 2
+	}
+	return p, nil
+}
+
+// VerifyProof checks that leaf data is included under root according to p.
+func VerifyProof(root Hash, leaf []byte, p Proof) error {
+	h := HashLeaf(leaf)
+	for _, step := range p.Steps {
+		if step.Left {
+			h = HashInterior(step.Sibling, h)
+		} else {
+			h = HashInterior(h, step.Sibling)
+		}
+	}
+	if h != root {
+		return ErrProofInvalid
+	}
+	return nil
+}
+
+// Accumulator maintains a running Merkle root over an append-only sequence
+// of leaves using O(log n) storage, in the style of a Merkle mountain range
+// collapsed left-to-right. The factual database uses it to re-anchor its
+// root cheaply as facts are promoted.
+type Accumulator struct {
+	// peaks[i] is the root of a perfect subtree of size 2^i, or zero.
+	peaks []Hash
+	count int
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator { return &Accumulator{} }
+
+// Add appends one leaf.
+func (a *Accumulator) Add(leaf []byte) {
+	h := HashLeaf(leaf)
+	carry := h
+	i := 0
+	for {
+		if i == len(a.peaks) {
+			a.peaks = append(a.peaks, carry)
+			break
+		}
+		if a.peaks[i].IsZero() {
+			a.peaks[i] = carry
+			break
+		}
+		carry = HashInterior(a.peaks[i], carry)
+		a.peaks[i] = Hash{}
+		i++
+	}
+	a.count++
+}
+
+// Count returns the number of leaves added.
+func (a *Accumulator) Count() int { return a.count }
+
+// Root folds the current peaks into a single commitment. For leaf counts
+// that are powers of two this equals the plain tree root; otherwise it is a
+// deterministic commitment to the same sequence (peaks folded right-to-left).
+func (a *Accumulator) Root() Hash {
+	var root Hash
+	seeded := false
+	for i := len(a.peaks) - 1; i >= 0; i-- {
+		if a.peaks[i].IsZero() {
+			continue
+		}
+		if !seeded {
+			root = a.peaks[i]
+			seeded = true
+			continue
+		}
+		root = HashInterior(root, a.peaks[i])
+	}
+	return root
+}

@@ -1,0 +1,272 @@
+package merkle
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte("leaf-" + strconv.Itoa(i))
+	}
+	return out
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(nil); err != ErrEmptyTree {
+		t.Fatalf("want ErrEmptyTree, got %v", err)
+	}
+}
+
+func TestRootEmptyIsZero(t *testing.T) {
+	if !Root(nil).IsZero() {
+		t.Fatal("empty root must be zero")
+	}
+}
+
+func TestRootMatchesTree(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 33, 100} {
+		ls := leaves(n)
+		tree, err := New(ls)
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		if got, want := Root(ls), tree.Root(); got != want {
+			t.Fatalf("n=%d: Root()=%s tree=%s", n, got.Short(), want.Short())
+		}
+	}
+}
+
+func TestSingleLeafRoot(t *testing.T) {
+	l := []byte("only")
+	if Root([][]byte{l}) != HashLeaf(l) {
+		t.Fatal("single-leaf root must equal leaf hash")
+	}
+}
+
+func TestLeafInteriorDomainSeparation(t *testing.T) {
+	data := []byte("x")
+	if HashLeaf(data) == HashInterior(HashLeaf(data), HashLeaf(data)) {
+		t.Fatal("leaf and interior hashes must differ")
+	}
+}
+
+func TestRootChangesWithAnyLeaf(t *testing.T) {
+	ls := leaves(10)
+	base := Root(ls)
+	for i := range ls {
+		mutated := leaves(10)
+		mutated[i] = append(mutated[i], '!')
+		if Root(mutated) == base {
+			t.Fatalf("mutating leaf %d did not change root", i)
+		}
+	}
+}
+
+func TestRootOrderSensitive(t *testing.T) {
+	a := [][]byte{[]byte("a"), []byte("b")}
+	b := [][]byte{[]byte("b"), []byte("a")}
+	if Root(a) == Root(b) {
+		t.Fatal("root must depend on leaf order")
+	}
+}
+
+func TestProofAllLeaves(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 64, 100} {
+		ls := leaves(n)
+		tree, err := New(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			p, err := tree.Proof(i)
+			if err != nil {
+				t.Fatalf("n=%d Proof(%d): %v", n, i, err)
+			}
+			if err := VerifyProof(tree.Root(), ls[i], p); err != nil {
+				t.Fatalf("n=%d leaf %d: %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestProofRejectsWrongLeaf(t *testing.T) {
+	ls := leaves(16)
+	tree, _ := New(ls)
+	p, _ := tree.Proof(3)
+	if err := VerifyProof(tree.Root(), []byte("forged"), p); err != ErrProofInvalid {
+		t.Fatalf("want ErrProofInvalid, got %v", err)
+	}
+}
+
+func TestProofRejectsWrongRoot(t *testing.T) {
+	ls := leaves(16)
+	tree, _ := New(ls)
+	p, _ := tree.Proof(3)
+	other, _ := New(leaves(17))
+	if err := VerifyProof(other.Root(), ls[3], p); err != ErrProofInvalid {
+		t.Fatalf("want ErrProofInvalid, got %v", err)
+	}
+}
+
+func TestProofIndexRange(t *testing.T) {
+	tree, _ := New(leaves(4))
+	for _, i := range []int{-1, 4, 100} {
+		if _, err := tree.Proof(i); err == nil {
+			t.Errorf("Proof(%d): want error", i)
+		}
+	}
+}
+
+func TestProofCrossLeafRejected(t *testing.T) {
+	// A proof for index i must not verify leaf j != i in general.
+	ls := leaves(8)
+	tree, _ := New(ls)
+	p, _ := tree.Proof(2)
+	if err := VerifyProof(tree.Root(), ls[5], p); err == nil {
+		t.Fatal("proof for leaf 2 must not verify leaf 5")
+	}
+}
+
+func TestAccumulatorCount(t *testing.T) {
+	acc := NewAccumulator()
+	for i := 0; i < 37; i++ {
+		acc.Add([]byte(strconv.Itoa(i)))
+	}
+	if acc.Count() != 37 {
+		t.Fatalf("count=%d", acc.Count())
+	}
+}
+
+func TestAccumulatorMatchesTreeAtPowersOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		acc := NewAccumulator()
+		ls := leaves(n)
+		for _, l := range ls {
+			acc.Add(l)
+		}
+		if acc.Root() != Root(ls) {
+			t.Fatalf("n=%d: accumulator root != tree root", n)
+		}
+	}
+}
+
+func TestAccumulatorDeterministic(t *testing.T) {
+	build := func() Hash {
+		acc := NewAccumulator()
+		for _, l := range leaves(77) {
+			acc.Add(l)
+		}
+		return acc.Root()
+	}
+	if build() != build() {
+		t.Fatal("accumulator must be deterministic")
+	}
+}
+
+func TestAccumulatorRootChangesOnAdd(t *testing.T) {
+	acc := NewAccumulator()
+	prev := acc.Root()
+	for i := 0; i < 50; i++ {
+		acc.Add([]byte(strconv.Itoa(i)))
+		cur := acc.Root()
+		if cur == prev {
+			t.Fatalf("root unchanged after add %d", i)
+		}
+		prev = cur
+	}
+}
+
+// Property: every leaf of a random tree has a verifying proof, and the proof
+// fails against any other tree's root.
+func TestProofProperty(t *testing.T) {
+	f := func(raw [][]byte, pick uint) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		tree, err := New(raw)
+		if err != nil {
+			return false
+		}
+		i := int(pick % uint(len(raw)))
+		p, err := tree.Proof(i)
+		if err != nil {
+			return false
+		}
+		return VerifyProof(tree.Root(), raw[i], p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: accumulator root depends on the full prefix, i.e. two different
+// sequences of the same length produce different roots.
+func TestAccumulatorSequenceProperty(t *testing.T) {
+	f := func(a, b [][]byte) bool {
+		if len(a) != len(b) || len(a) == 0 {
+			return true
+		}
+		same := true
+		for i := range a {
+			if string(a[i]) != string(b[i]) {
+				same = false
+				break
+			}
+		}
+		accA, accB := NewAccumulator(), NewAccumulator()
+		for _, l := range a {
+			accA.Add(l)
+		}
+		for _, l := range b {
+			accB.Add(l)
+		}
+		if same {
+			return accA.Root() == accB.Root()
+		}
+		return accA.Root() != accB.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRoot(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ls := leaves(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Root(ls)
+			}
+		})
+	}
+}
+
+func BenchmarkProofVerify(b *testing.B) {
+	ls := leaves(1024)
+	tree, _ := New(ls)
+	p, _ := tree.Proof(512)
+	root := tree.Root()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyProof(root, ls[512], p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	acc := NewAccumulator()
+	leaf := []byte("fact: the vote passed 61-39")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Add(leaf)
+	}
+}

@@ -1,0 +1,520 @@
+// Package newsroom implements the distribution/editing platform layer of
+// §V: media publishers apply to create distribution platforms; each
+// platform hosts topic-based news rooms; verified journalists draft
+// articles through the paper's production workflow and publish them for
+// ranking. "There will be smart contracts for authentication and crowd
+// sourcing review process to allow for the establishment of a trusted
+// distribution platform."
+//
+// The two-layer trust design is enforced here: the distribution platform
+// answers for its creators (only its accredited journalists can draft),
+// and the editing platform answers for its content (an article must pass
+// review before publication).
+package newsroom
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/contract"
+	"repro/internal/corpus"
+	"repro/internal/identity"
+	"repro/internal/keys"
+)
+
+// ContractName routes newsroom transactions.
+const ContractName = "newsroom"
+
+// Errors surfaced by contract execution.
+var (
+	// ErrNotPublisher indicates a platform creation by a non-publisher.
+	ErrNotPublisher = errors.New("newsroom: sender is not a verified publisher")
+	// ErrNotOwner indicates a platform action by a non-owner.
+	ErrNotOwner = errors.New("newsroom: sender does not own the platform")
+	// ErrNotAccredited indicates a draft by a non-accredited journalist.
+	ErrNotAccredited = errors.New("newsroom: journalist not accredited on platform")
+	// ErrNotCreator indicates accreditation of a non-creator account.
+	ErrNotCreator = errors.New("newsroom: account is not a verified creator")
+	// ErrExists indicates a duplicate platform/room/article id.
+	ErrExists = errors.New("newsroom: already exists")
+	// ErrNotFound indicates a missing platform/room/article.
+	ErrNotFound = errors.New("newsroom: not found")
+	// ErrBadState indicates a workflow transition out of order.
+	ErrBadState = errors.New("newsroom: invalid article state transition")
+	// ErrNotAuthor indicates an article edit by a non-author.
+	ErrNotAuthor = errors.New("newsroom: sender is not the author")
+)
+
+// ArticleStatus is the editing-platform workflow state. The paper's
+// production process (§V: planning, survey, topics, collection, interview,
+// writing, review, publication) maps onto drafting (steps 1-6), review
+// (step 7) and publication (step 8); the pre-writing steps are recorded as
+// the draft's research notes.
+type ArticleStatus string
+
+// Workflow states.
+const (
+	StatusDraft     ArticleStatus = "draft"
+	StatusInReview  ArticleStatus = "in_review"
+	StatusPublished ArticleStatus = "published"
+	StatusRejected  ArticleStatus = "rejected"
+)
+
+// Platform is a distribution platform owned by a publisher.
+type Platform struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Owner  string `json:"owner"`
+	Height uint64 `json:"height"`
+}
+
+// Room is a themed news room on a platform.
+type Room struct {
+	ID         string       `json:"id"`
+	PlatformID string       `json:"platformId"`
+	Topic      corpus.Topic `json:"topic"`
+	Height     uint64       `json:"height"`
+}
+
+// Article is one piece of content moving through the workflow.
+type Article struct {
+	ID       string        `json:"id"`
+	RoomID   string        `json:"roomId"`
+	Author   string        `json:"author"`
+	Title    string        `json:"title"`
+	Text     string        `json:"text"`
+	Notes    string        `json:"notes,omitempty"` // research notes (steps 1-5)
+	Status   ArticleStatus `json:"status"`
+	Reviewer string        `json:"reviewer,omitempty"`
+	Height   uint64        `json:"height"`
+	// Sources are ids of news items the article cites (supply-chain
+	// parents once published).
+	Sources []string `json:"sources,omitempty"`
+}
+
+// Comment is a reader/checker comment on an article.
+type Comment struct {
+	ArticleID string `json:"articleId"`
+	Author    string `json:"author"`
+	Text      string `json:"text"`
+	Seq       int    `json:"seq"`
+	Height    uint64 `json:"height"`
+}
+
+type createPlatformArgs struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+}
+
+type createRoomArgs struct {
+	ID         string       `json:"id"`
+	PlatformID string       `json:"platformId"`
+	Topic      corpus.Topic `json:"topic"`
+}
+
+type accreditArgs struct {
+	PlatformID string `json:"platformId"`
+	Journalist string `json:"journalist"`
+}
+
+type draftArgs struct {
+	ID      string   `json:"id"`
+	RoomID  string   `json:"roomId"`
+	Title   string   `json:"title"`
+	Text    string   `json:"text"`
+	Notes   string   `json:"notes,omitempty"`
+	Sources []string `json:"sources,omitempty"`
+}
+
+type articleActArgs struct {
+	ID string `json:"id"`
+}
+
+type commentArgs struct {
+	ArticleID string `json:"articleId"`
+	Text      string `json:"text"`
+}
+
+// Contract is the newsroom chaincode. It consults the identity registry
+// through read-only cross-contract state access.
+type Contract struct{}
+
+var _ contract.Contract = (*Contract)(nil)
+
+// Name implements contract.Contract.
+func (Contract) Name() string { return ContractName }
+
+// Execute implements contract.Contract.
+func (c Contract) Execute(ctx *contract.Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "createPlatform":
+		return c.createPlatform(ctx, args)
+	case "createRoom":
+		return c.createRoom(ctx, args)
+	case "accredit":
+		return c.accredit(ctx, args)
+	case "draft":
+		return c.draft(ctx, args)
+	case "submit":
+		return c.transition(ctx, args, StatusDraft, StatusInReview, false)
+	case "approve":
+		return c.transition(ctx, args, StatusInReview, StatusPublished, true)
+	case "reject":
+		return c.transition(ctx, args, StatusInReview, StatusRejected, true)
+	case "comment":
+		return c.comment(ctx, args)
+	case "getArticle":
+		return c.getJSON(ctx, "article/"+string(args))
+	case "getPlatform":
+		return c.getJSON(ctx, "platform/"+string(args))
+	case "getRoom":
+		return c.getJSON(ctx, "room/"+string(args))
+	case "comments":
+		return c.comments(ctx, args)
+	default:
+		return nil, fmt.Errorf("%w: newsroom.%s", contract.ErrUnknownMethod, method)
+	}
+}
+
+// identityRecord reads an account's registry entry cross-contract.
+func identityRecord(ctx *contract.Context, addr string) (identity.Record, error) {
+	raw, err := ctx.GetExternal(identity.ContractName, "acct/"+addr)
+	if err != nil {
+		return identity.Record{}, err
+	}
+	var rec identity.Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return identity.Record{}, fmt.Errorf("newsroom: decode identity: %w", err)
+	}
+	return rec, nil
+}
+
+func requireRole(ctx *contract.Context, addr string, role identity.Role) error {
+	rec, err := identityRecord(ctx, addr)
+	if err != nil || rec.Status != identity.StatusVerified || rec.Role != role {
+		return fmt.Errorf("account %s lacks verified role %s", addr[:8], role)
+	}
+	return nil
+}
+
+func (c Contract) createPlatform(ctx *contract.Context, args []byte) ([]byte, error) {
+	var in createPlatformArgs
+	if err := json.Unmarshal(args, &in); err != nil {
+		return nil, fmt.Errorf("newsroom: args: %w", err)
+	}
+	sender := ctx.Sender.String()
+	if err := requireRole(ctx, sender, identity.RolePublisher); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotPublisher, err)
+	}
+	key := "platform/" + in.ID
+	if ok, err := ctx.Has(key); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("%w: platform %s", ErrExists, in.ID)
+	}
+	p := Platform{ID: in.ID, Name: in.Name, Owner: sender, Height: ctx.Height}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("newsroom: marshal: %w", err)
+	}
+	if err := ctx.Put(key, raw); err != nil {
+		return nil, err
+	}
+	if err := ctx.Emit("platform_created", map[string]string{"id": in.ID, "owner": sender}); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+func (c Contract) loadPlatform(ctx *contract.Context, id string) (Platform, error) {
+	raw, err := ctx.Get("platform/" + id)
+	if err != nil {
+		return Platform{}, fmt.Errorf("%w: platform %s", ErrNotFound, id)
+	}
+	var p Platform
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return Platform{}, fmt.Errorf("newsroom: decode platform: %w", err)
+	}
+	return p, nil
+}
+
+func (c Contract) createRoom(ctx *contract.Context, args []byte) ([]byte, error) {
+	var in createRoomArgs
+	if err := json.Unmarshal(args, &in); err != nil {
+		return nil, fmt.Errorf("newsroom: args: %w", err)
+	}
+	p, err := c.loadPlatform(ctx, in.PlatformID)
+	if err != nil {
+		return nil, err
+	}
+	if p.Owner != ctx.Sender.String() {
+		return nil, fmt.Errorf("%w: platform %s", ErrNotOwner, in.PlatformID)
+	}
+	key := "room/" + in.ID
+	if ok, err := ctx.Has(key); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("%w: room %s", ErrExists, in.ID)
+	}
+	r := Room{ID: in.ID, PlatformID: in.PlatformID, Topic: in.Topic, Height: ctx.Height}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("newsroom: marshal: %w", err)
+	}
+	if err := ctx.Put(key, raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+func (c Contract) accredit(ctx *contract.Context, args []byte) ([]byte, error) {
+	var in accreditArgs
+	if err := json.Unmarshal(args, &in); err != nil {
+		return nil, fmt.Errorf("newsroom: args: %w", err)
+	}
+	p, err := c.loadPlatform(ctx, in.PlatformID)
+	if err != nil {
+		return nil, err
+	}
+	if p.Owner != ctx.Sender.String() {
+		return nil, fmt.Errorf("%w: platform %s", ErrNotOwner, in.PlatformID)
+	}
+	if err := requireRole(ctx, in.Journalist, identity.RoleCreator); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotCreator, err)
+	}
+	key := "accred/" + in.PlatformID + "/" + in.Journalist
+	if err := ctx.Put(key, []byte("1")); err != nil {
+		return nil, err
+	}
+	if err := ctx.Emit("accredited", map[string]string{"platform": in.PlatformID, "journalist": in.Journalist}); err != nil {
+		return nil, err
+	}
+	return []byte("1"), nil
+}
+
+func (c Contract) isAccredited(ctx *contract.Context, platformID, addr string) (bool, error) {
+	return ctx.Has("accred/" + platformID + "/" + addr)
+}
+
+func (c Contract) draft(ctx *contract.Context, args []byte) ([]byte, error) {
+	var in draftArgs
+	if err := json.Unmarshal(args, &in); err != nil {
+		return nil, fmt.Errorf("newsroom: args: %w", err)
+	}
+	if in.ID == "" || in.RoomID == "" || in.Text == "" {
+		return nil, errors.New("newsroom: draft needs id, room and text")
+	}
+	roomRaw, err := ctx.Get("room/" + in.RoomID)
+	if err != nil {
+		return nil, fmt.Errorf("%w: room %s", ErrNotFound, in.RoomID)
+	}
+	var room Room
+	if err := json.Unmarshal(roomRaw, &room); err != nil {
+		return nil, fmt.Errorf("newsroom: decode room: %w", err)
+	}
+	sender := ctx.Sender.String()
+	ok, err := c.isAccredited(ctx, room.PlatformID, sender)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNotAccredited, sender[:8], room.PlatformID)
+	}
+	key := "article/" + in.ID
+	if exists, err := ctx.Has(key); err != nil {
+		return nil, err
+	} else if exists {
+		return nil, fmt.Errorf("%w: article %s", ErrExists, in.ID)
+	}
+	a := Article{
+		ID: in.ID, RoomID: in.RoomID, Author: sender,
+		Title: in.Title, Text: in.Text, Notes: in.Notes,
+		Status: StatusDraft, Height: ctx.Height, Sources: in.Sources,
+	}
+	raw, err := json.Marshal(a)
+	if err != nil {
+		return nil, fmt.Errorf("newsroom: marshal: %w", err)
+	}
+	if err := ctx.Put(key, raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// transition moves an article along the workflow. Submit is author-only;
+// approve/reject require the platform owner (ownerGate).
+func (c Contract) transition(ctx *contract.Context, args []byte, from, to ArticleStatus, ownerGate bool) ([]byte, error) {
+	var in articleActArgs
+	if err := json.Unmarshal(args, &in); err != nil {
+		return nil, fmt.Errorf("newsroom: args: %w", err)
+	}
+	raw, err := ctx.Get("article/" + in.ID)
+	if err != nil {
+		return nil, fmt.Errorf("%w: article %s", ErrNotFound, in.ID)
+	}
+	var a Article
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, fmt.Errorf("newsroom: decode article: %w", err)
+	}
+	if a.Status != from {
+		return nil, fmt.Errorf("%w: %s is %s, want %s", ErrBadState, in.ID, a.Status, from)
+	}
+	sender := ctx.Sender.String()
+	if ownerGate {
+		roomRaw, err := ctx.Get("room/" + a.RoomID)
+		if err != nil {
+			return nil, fmt.Errorf("%w: room %s", ErrNotFound, a.RoomID)
+		}
+		var room Room
+		if err := json.Unmarshal(roomRaw, &room); err != nil {
+			return nil, fmt.Errorf("newsroom: decode room: %w", err)
+		}
+		p, err := c.loadPlatform(ctx, room.PlatformID)
+		if err != nil {
+			return nil, err
+		}
+		if p.Owner != sender {
+			return nil, fmt.Errorf("%w: review requires platform owner", ErrNotOwner)
+		}
+		a.Reviewer = sender
+	} else if a.Author != sender {
+		return nil, fmt.Errorf("%w: article %s", ErrNotAuthor, in.ID)
+	}
+	a.Status = to
+	out, err := json.Marshal(a)
+	if err != nil {
+		return nil, fmt.Errorf("newsroom: marshal: %w", err)
+	}
+	if err := ctx.Put("article/"+in.ID, out); err != nil {
+		return nil, err
+	}
+	if err := ctx.Emit("article_"+string(to), map[string]string{"id": a.ID, "room": a.RoomID, "author": a.Author}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c Contract) comment(ctx *contract.Context, args []byte) ([]byte, error) {
+	var in commentArgs
+	if err := json.Unmarshal(args, &in); err != nil {
+		return nil, fmt.Errorf("newsroom: args: %w", err)
+	}
+	sender := ctx.Sender.String()
+	// Any verified identity may comment (§V: "identification verified
+	// persons can also create contents and make comments").
+	rec, err := identityRecord(ctx, sender)
+	if err != nil || rec.Status != identity.StatusVerified {
+		return nil, fmt.Errorf("newsroom: commenting requires a verified identity")
+	}
+	if ok, err := ctx.Has("article/" + in.ArticleID); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("%w: article %s", ErrNotFound, in.ArticleID)
+	}
+	seqRaw, _ := ctx.Get("commentseq/" + in.ArticleID)
+	seq := 0
+	if len(seqRaw) > 0 {
+		fmt.Sscanf(string(seqRaw), "%d", &seq)
+	}
+	cm := Comment{ArticleID: in.ArticleID, Author: sender, Text: in.Text, Seq: seq, Height: ctx.Height}
+	raw, err := json.Marshal(cm)
+	if err != nil {
+		return nil, fmt.Errorf("newsroom: marshal: %w", err)
+	}
+	if err := ctx.Put(fmt.Sprintf("comment/%s/%06d", in.ArticleID, seq), raw); err != nil {
+		return nil, err
+	}
+	if err := ctx.Put("commentseq/"+in.ArticleID, []byte(fmt.Sprintf("%d", seq+1))); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+func (c Contract) comments(ctx *contract.Context, args []byte) ([]byte, error) {
+	ks, err := ctx.Keys("comment/" + string(args) + "/")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Comment, 0, len(ks))
+	for _, k := range ks {
+		raw, err := ctx.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		var cm Comment
+		if err := json.Unmarshal(raw, &cm); err != nil {
+			return nil, fmt.Errorf("newsroom: decode comment: %w", err)
+		}
+		out = append(out, cm)
+	}
+	return json.Marshal(out)
+}
+
+func (c Contract) getJSON(ctx *contract.Context, key string) ([]byte, error) {
+	raw, err := ctx.Get(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return raw, nil
+}
+
+// ---------------------------------------------------------------------------
+// Client helpers.
+// ---------------------------------------------------------------------------
+
+// CreatePlatformPayload builds newsroom.createPlatform.
+func CreatePlatformPayload(id, name string) ([]byte, error) {
+	return json.Marshal(createPlatformArgs{ID: id, Name: name})
+}
+
+// CreateRoomPayload builds newsroom.createRoom.
+func CreateRoomPayload(id, platformID string, topic corpus.Topic) ([]byte, error) {
+	return json.Marshal(createRoomArgs{ID: id, PlatformID: platformID, Topic: topic})
+}
+
+// AccreditPayload builds newsroom.accredit.
+func AccreditPayload(platformID string, journalist keys.Address) ([]byte, error) {
+	return json.Marshal(accreditArgs{PlatformID: platformID, Journalist: journalist.String()})
+}
+
+// DraftPayload builds newsroom.draft.
+func DraftPayload(id, roomID, title, text, notes string, sources []string) ([]byte, error) {
+	return json.Marshal(draftArgs{ID: id, RoomID: roomID, Title: title, Text: text, Notes: notes, Sources: sources})
+}
+
+// ArticleActPayload builds submit/approve/reject payloads.
+func ArticleActPayload(id string) ([]byte, error) {
+	return json.Marshal(articleActArgs{ID: id})
+}
+
+// CommentPayload builds newsroom.comment.
+func CommentPayload(articleID, text string) ([]byte, error) {
+	return json.Marshal(commentArgs{ArticleID: articleID, Text: text})
+}
+
+// GetArticle queries one article.
+func GetArticle(e *contract.Engine, asker keys.Address, id string) (Article, error) {
+	raw, err := e.Query(asker, ContractName+".getArticle", []byte(id))
+	if err != nil {
+		return Article{}, err
+	}
+	var a Article
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return Article{}, fmt.Errorf("newsroom: decode article: %w", err)
+	}
+	return a, nil
+}
+
+// Comments queries an article's comments.
+func Comments(e *contract.Engine, asker keys.Address, articleID string) ([]Comment, error) {
+	raw, err := e.Query(asker, ContractName+".comments", []byte(articleID))
+	if err != nil {
+		return nil, err
+	}
+	var out []Comment
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("newsroom: decode comments: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,280 @@
+package newsroom
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/contract"
+	"repro/internal/corpus"
+	"repro/internal/identity"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+)
+
+type fixture struct {
+	engine  *contract.Engine
+	genesis *keys.KeyPair
+	pub     *keys.KeyPair // verified publisher
+	journo  *keys.KeyPair // verified + accredited creator
+	reader  *keys.KeyPair // verified consumer
+	nonces  map[string]uint64
+	t       *testing.T
+}
+
+func (f *fixture) exec(kp *keys.KeyPair, kind string, payload []byte) contract.Receipt {
+	f.t.Helper()
+	key := kp.Address().String()
+	tx, err := ledger.NewTx(kp, f.nonces[key], kind, payload)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.nonces[key]++
+	return f.engine.ExecuteTx(tx, 1)
+}
+
+func (f *fixture) must(kp *keys.KeyPair, kind string, payload []byte) contract.Receipt {
+	f.t.Helper()
+	rec := f.exec(kp, kind, payload)
+	if !rec.OK {
+		f.t.Fatalf("%s: %+v", kind, rec)
+	}
+	return rec
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{
+		genesis: keys.FromSeed([]byte("genesis")),
+		pub:     keys.FromSeed([]byte("publisher")),
+		journo:  keys.FromSeed([]byte("journalist")),
+		reader:  keys.FromSeed([]byte("reader")),
+		nonces:  make(map[string]uint64),
+		t:       t,
+	}
+	f.engine = contract.NewEngine()
+	if err := f.engine.Register(&identity.Contract{Genesis: f.genesis.Address()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.engine.Register(Contract{}); err != nil {
+		t.Fatal(err)
+	}
+	// Publisher: register + genesis-verify.
+	p, _ := identity.RegisterPayload("Daily Planet", identity.RolePublisher)
+	f.must(f.pub, "identity.register", p)
+	act, _ := identity.ActPayload(f.pub.Address())
+	f.must(f.genesis, "identity.verify", act)
+	// Journalist: register + publisher-verify.
+	p, _ = identity.RegisterPayload("Lois", identity.RoleCreator)
+	f.must(f.journo, "identity.register", p)
+	act, _ = identity.ActPayload(f.journo.Address())
+	f.must(f.pub, "identity.verify", act)
+	// Reader: consumer auto-verifies.
+	p, _ = identity.RegisterPayload("Reader", identity.RoleConsumer)
+	f.must(f.reader, "identity.register", p)
+	return f
+}
+
+func (f *fixture) setupPlatformRoom() {
+	f.t.Helper()
+	p, _ := CreatePlatformPayload("dp", "Daily Planet")
+	f.must(f.pub, "newsroom.createPlatform", p)
+	r, _ := CreateRoomPayload("metro", "dp", corpus.TopicPolitics)
+	f.must(f.pub, "newsroom.createRoom", r)
+	a, _ := AccreditPayload("dp", f.journo.Address())
+	f.must(f.pub, "newsroom.accredit", a)
+}
+
+func TestPlatformCreationRequiresVerifiedPublisher(t *testing.T) {
+	f := newFixture(t)
+	p, _ := CreatePlatformPayload("dp", "Daily Planet")
+	rec := f.exec(f.journo, "newsroom.createPlatform", p)
+	if rec.OK || !strings.Contains(rec.Err, "not a verified publisher") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	if rec := f.exec(f.pub, "newsroom.createPlatform", p); !rec.OK {
+		t.Fatalf("publisher rejected: %+v", rec)
+	}
+}
+
+func TestDuplicatePlatformRejected(t *testing.T) {
+	f := newFixture(t)
+	p, _ := CreatePlatformPayload("dp", "Daily Planet")
+	f.must(f.pub, "newsroom.createPlatform", p)
+	if rec := f.exec(f.pub, "newsroom.createPlatform", p); rec.OK {
+		t.Fatal("duplicate platform accepted")
+	}
+}
+
+func TestRoomRequiresOwner(t *testing.T) {
+	f := newFixture(t)
+	p, _ := CreatePlatformPayload("dp", "Daily Planet")
+	f.must(f.pub, "newsroom.createPlatform", p)
+	r, _ := CreateRoomPayload("metro", "dp", corpus.TopicPolitics)
+	if rec := f.exec(f.journo, "newsroom.createRoom", r); rec.OK {
+		t.Fatal("non-owner created room")
+	}
+	f.must(f.pub, "newsroom.createRoom", r)
+}
+
+func TestAccreditationRules(t *testing.T) {
+	f := newFixture(t)
+	f.setupPlatformRoom()
+	// Accrediting a consumer must fail: only verified creators draft.
+	a, _ := AccreditPayload("dp", f.reader.Address())
+	rec := f.exec(f.pub, "newsroom.accredit", a)
+	if rec.OK || !strings.Contains(rec.Err, "not a verified creator") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	// Non-owner cannot accredit.
+	a2, _ := AccreditPayload("dp", f.journo.Address())
+	if rec := f.exec(f.journo, "newsroom.accredit", a2); rec.OK {
+		t.Fatal("non-owner accredited")
+	}
+}
+
+func TestFullEditorialWorkflow(t *testing.T) {
+	f := newFixture(t)
+	f.setupPlatformRoom()
+	d, _ := DraftPayload("a1", "metro", "Treaty ratified", "the parliament ratified the border treaty", "interviewed two officials", nil)
+	f.must(f.journo, "newsroom.draft", d)
+
+	art, err := GetArticle(f.engine, f.pub.Address(), "a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Status != StatusDraft || art.Author != f.journo.Address().String() {
+		t.Fatalf("article=%+v", art)
+	}
+
+	act, _ := ArticleActPayload("a1")
+	f.must(f.journo, "newsroom.submit", act)
+	rec := f.must(f.pub, "newsroom.approve", act)
+	if len(rec.Events) == 0 || rec.Events[0].Type != "article_published" {
+		t.Fatalf("events=%+v", rec.Events)
+	}
+	art, _ = GetArticle(f.engine, f.pub.Address(), "a1")
+	if art.Status != StatusPublished || art.Reviewer != f.pub.Address().String() {
+		t.Fatalf("article=%+v", art)
+	}
+}
+
+func TestRejectWorkflow(t *testing.T) {
+	f := newFixture(t)
+	f.setupPlatformRoom()
+	d, _ := DraftPayload("a1", "metro", "t", "text", "", nil)
+	f.must(f.journo, "newsroom.draft", d)
+	act, _ := ArticleActPayload("a1")
+	f.must(f.journo, "newsroom.submit", act)
+	f.must(f.pub, "newsroom.reject", act)
+	art, _ := GetArticle(f.engine, f.pub.Address(), "a1")
+	if art.Status != StatusRejected {
+		t.Fatalf("status=%s", art.Status)
+	}
+}
+
+func TestWorkflowTransitionGuards(t *testing.T) {
+	f := newFixture(t)
+	f.setupPlatformRoom()
+	d, _ := DraftPayload("a1", "metro", "t", "text", "", nil)
+	f.must(f.journo, "newsroom.draft", d)
+	act, _ := ArticleActPayload("a1")
+	// Approve before submit: bad state.
+	if rec := f.exec(f.pub, "newsroom.approve", act); rec.OK || !strings.Contains(rec.Err, "invalid article state") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	// Submit by non-author.
+	if rec := f.exec(f.pub, "newsroom.submit", act); rec.OK || !strings.Contains(rec.Err, "not the author") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+	f.must(f.journo, "newsroom.submit", act)
+	// Approve by non-owner.
+	if rec := f.exec(f.journo, "newsroom.approve", act); rec.OK || !strings.Contains(rec.Err, "platform owner") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+}
+
+func TestDraftRequiresAccreditation(t *testing.T) {
+	f := newFixture(t)
+	p, _ := CreatePlatformPayload("dp", "Daily Planet")
+	f.must(f.pub, "newsroom.createPlatform", p)
+	r, _ := CreateRoomPayload("metro", "dp", corpus.TopicPolitics)
+	f.must(f.pub, "newsroom.createRoom", r)
+	// Journalist is verified but NOT accredited on this platform.
+	d, _ := DraftPayload("a1", "metro", "t", "text", "", nil)
+	rec := f.exec(f.journo, "newsroom.draft", d)
+	if rec.OK || !strings.Contains(rec.Err, "not accredited") {
+		t.Fatalf("receipt: %+v", rec)
+	}
+}
+
+func TestDraftValidations(t *testing.T) {
+	f := newFixture(t)
+	f.setupPlatformRoom()
+	empty, _ := DraftPayload("", "metro", "t", "", "", nil)
+	if rec := f.exec(f.journo, "newsroom.draft", empty); rec.OK {
+		t.Fatal("empty draft accepted")
+	}
+	ghost, _ := DraftPayload("a1", "ghostroom", "t", "text", "", nil)
+	if rec := f.exec(f.journo, "newsroom.draft", ghost); rec.OK {
+		t.Fatal("draft in missing room accepted")
+	}
+	d, _ := DraftPayload("a1", "metro", "t", "text", "", nil)
+	f.must(f.journo, "newsroom.draft", d)
+	if rec := f.exec(f.journo, "newsroom.draft", d); rec.OK {
+		t.Fatal("duplicate article accepted")
+	}
+}
+
+func TestCommentsRequireVerifiedIdentity(t *testing.T) {
+	f := newFixture(t)
+	f.setupPlatformRoom()
+	d, _ := DraftPayload("a1", "metro", "t", "text", "", nil)
+	f.must(f.journo, "newsroom.draft", d)
+
+	cm, _ := CommentPayload("a1", "good reporting")
+	f.must(f.reader, "newsroom.comment", cm)
+	cm2, _ := CommentPayload("a1", "second comment")
+	f.must(f.reader, "newsroom.comment", cm2)
+
+	anon := keys.FromSeed([]byte("anon"))
+	if rec := f.exec(anon, "newsroom.comment", cm); rec.OK {
+		t.Fatal("unverified account commented")
+	}
+
+	comments, err := Comments(f.engine, f.pub.Address(), "a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comments) != 2 || comments[0].Seq != 0 || comments[1].Seq != 1 {
+		t.Fatalf("comments=%+v", comments)
+	}
+}
+
+func TestCommentOnMissingArticle(t *testing.T) {
+	f := newFixture(t)
+	cm, _ := CommentPayload("ghost", "hello")
+	if rec := f.exec(f.reader, "newsroom.comment", cm); rec.OK {
+		t.Fatal("comment on missing article accepted")
+	}
+}
+
+func TestRevokedPublisherCannotCreatePlatform(t *testing.T) {
+	f := newFixture(t)
+	act, _ := identity.ActPayload(f.pub.Address())
+	f.must(f.genesis, "identity.revoke", act)
+	p, _ := CreatePlatformPayload("dp", "Daily Planet")
+	if rec := f.exec(f.pub, "newsroom.createPlatform", p); rec.OK {
+		t.Fatal("revoked publisher created platform")
+	}
+}
+
+func TestArticleSourcesRecorded(t *testing.T) {
+	f := newFixture(t)
+	f.setupPlatformRoom()
+	d, _ := DraftPayload("a1", "metro", "t", "text", "", []string{"item-1", "item-2"})
+	f.must(f.journo, "newsroom.draft", d)
+	art, _ := GetArticle(f.engine, f.pub.Address(), "a1")
+	if len(art.Sources) != 2 || art.Sources[0] != "item-1" {
+		t.Fatalf("sources=%v", art.Sources)
+	}
+}

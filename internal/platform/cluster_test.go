@@ -1,0 +1,168 @@
+package platform
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/corpus"
+	"repro/internal/factdb"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/simnet"
+	"repro/internal/supplychain"
+)
+
+func newCluster(t testing.TB, n int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(n, 77, DefaultConfig(), consensus.DefaultTimeouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// clusterClient signs and broadcasts txs with its own nonce tracking.
+type clusterClient struct {
+	kp *keys.KeyPair
+	c  *Cluster
+	n  uint64
+	t  testing.TB
+}
+
+func (cc *clusterClient) send(kind string, payload []byte) {
+	cc.t.Helper()
+	tx, err := ledger.NewTx(cc.kp, cc.n, kind, payload)
+	if err != nil {
+		cc.t.Fatal(err)
+	}
+	if err := cc.c.SubmitAll(tx); err != nil {
+		cc.t.Fatal(err)
+	}
+	cc.n++
+}
+
+func TestClusterReplicasConverge(t *testing.T) {
+	c := newCluster(t, 4)
+	client := &clusterClient{kp: keys.FromSeed([]byte("cluster-client")), c: c, t: t}
+	for i := 0; i < 10; i++ {
+		payload, err := supplychain.PublishPayload("item"+strconv.Itoa(i), corpus.TopicPolitics,
+			"the parliament ratified the border treaty "+strconv.Itoa(i), nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		client.send("news.publish", payload)
+	}
+	c.Start()
+	c.RunUntilHeight(2, 2*time.Minute)
+	if c.MinHeight() < 1 {
+		t.Fatalf("cluster stalled at height %d", c.MinHeight())
+	}
+	ok, err := c.Converged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		roots, _ := c.StateRoots()
+		t.Fatalf("replicas diverged: %v", roots)
+	}
+	// Every replica indexed the committed items.
+	for i, r := range c.Replicas {
+		if r.Graph().Len() == 0 {
+			t.Fatalf("replica %d indexed no items", i)
+		}
+	}
+}
+
+func TestClusterAuthorityOperations(t *testing.T) {
+	c := newCluster(t, 4)
+	payload, err := factdb.SeedPayload("f1", corpus.TopicPolitics, "the senate ratified the treaty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := c.SignAuthority(0, "factdb.seed", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitAll(tx); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.RunUntilHeight(1, 2*time.Minute)
+	for i, r := range c.Replicas {
+		if r.FactIndex().Len() != 1 {
+			t.Fatalf("replica %d fact index len=%d", i, r.FactIndex().Len())
+		}
+	}
+	ok, err := c.Converged()
+	if err != nil || !ok {
+		t.Fatalf("converged=%v err=%v", ok, err)
+	}
+}
+
+func TestClusterStandaloneCommitDisabled(t *testing.T) {
+	c := newCluster(t, 4)
+	if _, _, err := c.Replicas[0].Commit(); err == nil {
+		t.Fatal("standalone commit must be disabled under consensus")
+	}
+}
+
+func TestClusterSurvivesOneCrash(t *testing.T) {
+	c := newCluster(t, 4)
+	client := &clusterClient{kp: keys.FromSeed([]byte("cluster-client")), c: c, t: t}
+	payload, _ := supplychain.PublishPayload("item", corpus.TopicPolitics, "statement text", nil, "")
+	client.send("news.publish", payload)
+	c.Nodes[3].Stop()
+	c.Start()
+	// Only live replicas can reach the height; drive by live min height.
+	deadline := c.Net.Now() + 4*time.Minute
+	c.Net.RunWhile(func() bool {
+		if c.Net.Now() >= deadline {
+			return false
+		}
+		for i, r := range c.Replicas {
+			if i == 3 {
+				continue
+			}
+			if r.Chain().Height() < 1 {
+				return true
+			}
+		}
+		return false
+	})
+	live := 0
+	for i, r := range c.Replicas {
+		if i == 3 {
+			continue
+		}
+		if r.Chain().Height() >= 1 {
+			live++
+		}
+	}
+	if live != 3 {
+		t.Fatalf("only %d of 3 live replicas committed", live)
+	}
+}
+
+func TestClusterPartitionStallsThenRecovers(t *testing.T) {
+	c := newCluster(t, 4)
+	client := &clusterClient{kp: keys.FromSeed([]byte("cluster-client")), c: c, t: t}
+	payload, _ := supplychain.PublishPayload("item", corpus.TopicPolitics, "statement text", nil, "")
+	client.send("news.publish", payload)
+	c.Net.Partition([]simnet.NodeID{"p0", "p1"}, []simnet.NodeID{"p2", "p3"})
+	c.Start()
+	c.RunUntilHeight(1, 3*time.Second)
+	if c.MinHeight() != 0 {
+		t.Fatal("committed during 2-2 partition")
+	}
+	c.Net.Heal()
+	c.RunUntilHeight(1, 4*time.Minute)
+	if c.MinHeight() < 1 {
+		t.Fatalf("no recovery after heal; height=%d", c.MinHeight())
+	}
+	ok, err := c.Converged()
+	if err != nil || !ok {
+		t.Fatalf("converged=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,162 @@
+package platform
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/aidetect"
+	"repro/internal/contract"
+)
+
+// MediaContractName routes media-provenance transactions.
+const MediaContractName = "media"
+
+// Media-provenance errors.
+var (
+	// ErrMediaExists indicates a duplicate media registration.
+	ErrMediaExists = errors.New("platform: media already registered")
+	// ErrMediaNotFound indicates an unregistered media id.
+	ErrMediaNotFound = errors.New("platform: media not registered")
+)
+
+// MediaRecord is the on-chain capture registration: the exact content hash
+// and the perceptual hash, bound to the capturing account — the blockchain
+// provenance that makes deepfake substitution detectable (§IV component 2).
+type MediaRecord struct {
+	ID          string `json:"id"`
+	ContentHash string `json:"contentHash"` // hex sha256
+	PHash       uint64 `json:"phash"`
+	Owner       string `json:"owner"`
+	DeviceID    string `json:"deviceId"`
+	Height      uint64 `json:"height"`
+}
+
+type registerMediaArgs struct {
+	ID          string `json:"id"`
+	ContentHash string `json:"contentHash"`
+	PHash       uint64 `json:"phash"`
+	DeviceID    string `json:"deviceId"`
+}
+
+// MediaContract is the media-provenance chaincode.
+type MediaContract struct{}
+
+var _ contract.Contract = (*MediaContract)(nil)
+
+// Name implements contract.Contract.
+func (*MediaContract) Name() string { return MediaContractName }
+
+// Execute implements contract.Contract.
+func (m *MediaContract) Execute(ctx *contract.Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "register":
+		var in registerMediaArgs
+		if err := json.Unmarshal(args, &in); err != nil {
+			return nil, fmt.Errorf("platform: media args: %w", err)
+		}
+		if in.ID == "" || in.ContentHash == "" {
+			return nil, errors.New("platform: media needs id and content hash")
+		}
+		key := "m/" + in.ID
+		if ok, err := ctx.Has(key); err != nil {
+			return nil, err
+		} else if ok {
+			return nil, fmt.Errorf("%w: %s", ErrMediaExists, in.ID)
+		}
+		rec := MediaRecord{
+			ID: in.ID, ContentHash: in.ContentHash, PHash: in.PHash,
+			Owner: ctx.Sender.String(), DeviceID: in.DeviceID, Height: ctx.Height,
+		}
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("platform: marshal media: %w", err)
+		}
+		if err := ctx.Put(key, raw); err != nil {
+			return nil, err
+		}
+		if err := ctx.Emit("media_registered", map[string]string{"id": in.ID, "owner": rec.Owner}); err != nil {
+			return nil, err
+		}
+		return raw, nil
+	case "get":
+		raw, err := ctx.Get("m/" + string(args))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s", ErrMediaNotFound, string(args))
+		}
+		return raw, nil
+	default:
+		return nil, fmt.Errorf("%w: media.%s", contract.ErrUnknownMethod, method)
+	}
+}
+
+// RegisterMediaPayload builds a media.register payload from raw content.
+func RegisterMediaPayload(id, deviceID string, data []byte) ([]byte, error) {
+	ph, err := aidetect.ComputePHash(data)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	return json.Marshal(registerMediaArgs{
+		ID: id, ContentHash: hex.EncodeToString(sum[:]), PHash: uint64(ph), DeviceID: deviceID,
+	})
+}
+
+// MediaCheck is the outcome of verifying content against its registration.
+type MediaCheck struct {
+	Registered bool `json:"registered"`
+	// Tampered is true when the content hash differs from registration.
+	Tampered bool `json:"tampered"`
+	// PHashDistance localizes how much content changed (0-64).
+	PHashDistance int `json:"phashDistance"`
+	// BlindScore is the no-reference detector score in [0,1].
+	BlindScore float64 `json:"blindScore"`
+	// Owner is the registered capturing account.
+	Owner string `json:"owner,omitempty"`
+}
+
+// CheckMedia verifies content bytes against the on-chain registration and
+// runs the blind detector.
+func (p *Platform) CheckMedia(id string, data []byte) (MediaCheck, error) {
+	blind, err := p.mediaDet.Score(aidetect.Media{ID: id, Data: data})
+	if err != nil {
+		return MediaCheck{}, err
+	}
+	out := MediaCheck{BlindScore: blind}
+	raw, err := p.engine.Query(p.authority.Address(), MediaContractName+".get", []byte(id))
+	if err != nil {
+		return out, nil // unregistered: blind score only
+	}
+	var rec MediaRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return MediaCheck{}, fmt.Errorf("platform: decode media record: %w", err)
+	}
+	out.Registered = true
+	out.Owner = rec.Owner
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != rec.ContentHash {
+		out.Tampered = true
+		ph, err := aidetect.ComputePHash(data)
+		if err == nil {
+			out.PHashDistance = aidetect.PHash(rec.PHash).Distance(ph)
+		}
+	}
+	return out, nil
+}
+
+// RegisterMedia captures + registers synthetic media for an actor,
+// returning the media object (examples and experiments use this).
+func (a *Actor) RegisterMedia(rng *rand.Rand, id, deviceID string, size int) (aidetect.Media, error) {
+	m := aidetect.CaptureMedia(rng, id, deviceID, size)
+	payload, err := RegisterMediaPayload(id, deviceID, m.Data)
+	if err != nil {
+		return aidetect.Media{}, err
+	}
+	if _, err := a.MustExec(MediaContractName+".register", payload); err != nil {
+		return aidetect.Media{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,53 @@
+package platform
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/ledger"
+	"repro/internal/store"
+)
+
+// Durable deployment: a platform whose chain is backed by the
+// write-ahead-logged file store, with full state reconstruction on
+// restart. Contract state and the derived indexes (factual database,
+// supply-chain graph) are not persisted separately — they are a pure
+// function of the block sequence, so Open replays every block through the
+// contract engine, which also re-verifies the chain's integrity (a
+// tampered block file fails CRC or re-validation).
+
+// Open creates or reopens a durable platform at dir. The chain log lives
+// in dir/chain.log. The returned close function releases the log file.
+func Open(dir string, cfg Config) (*Platform, func() error, error) {
+	p, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := store.OpenFileLog(filepath.Join(dir, "chain.log"))
+	if err != nil {
+		return nil, nil, err
+	}
+	chain, err := ledger.NewChain(log)
+	if err != nil {
+		log.Close()
+		return nil, nil, fmt.Errorf("platform: reopen chain: %w", err)
+	}
+	p.mu.Lock()
+	p.chain = chain
+	p.pool = ledger.NewMempool(chain, 1<<16)
+	p.mu.Unlock()
+
+	// Replay committed blocks through the engine to rebuild contract
+	// state and the derived indexes.
+	if err := chain.Walk(0, func(b *ledger.Block) bool {
+		p.mu.Lock()
+		recs := p.engine.ExecuteBlock(b)
+		p.indexReceipts(b.Txs, recs)
+		p.mu.Unlock()
+		return true
+	}); err != nil {
+		log.Close()
+		return nil, nil, fmt.Errorf("platform: replay: %w", err)
+	}
+	return p, log.Close, nil
+}

@@ -1,0 +1,596 @@
+// Package platform assembles the AI blockchain trusting-news platform —
+// contribution (4) of the paper and the system of Fig. 1. It wires the
+// smart contracts (identity, factdb, news, rank, newsroom, media) into one
+// contract engine over a validated chain, attaches the AI components, and
+// maintains the two derived indexes the mechanisms need: the factual
+// database similarity index and the news supply-chain graph, both rebuilt
+// incrementally from contract events as blocks commit.
+//
+// A Platform can run standalone (it mines its own blocks, which is what
+// the examples and most experiments use) or as the application under BFT
+// consensus (see internal/consensus.ChainApp).
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/aidetect"
+	"repro/internal/contract"
+	"repro/internal/corpus"
+	"repro/internal/evidence"
+	"repro/internal/factdb"
+	"repro/internal/identity"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/newsroom"
+	"repro/internal/ranking"
+	"repro/internal/supplychain"
+)
+
+// Errors returned by this package.
+var (
+	// ErrTxFailed indicates a transaction whose receipt is not OK.
+	ErrTxFailed = errors.New("platform: transaction failed")
+	// ErrNotTrained indicates ranking before TrainClassifier.
+	ErrNotTrained = errors.New("platform: AI classifier not trained")
+)
+
+// Config tunes a platform node.
+type Config struct {
+	// AuthoritySeed derives the platform authority key.
+	AuthoritySeed string
+	// PromoteThreshold gates factual-database promotion (default 0.9).
+	PromoteThreshold float64
+	// MaxTxsPerBlock bounds standalone block size (default 512).
+	MaxTxsPerBlock int
+	// ParallelExec uses the optimistic parallel executor for blocks.
+	ParallelExec bool
+	// Weights tunes the combined ranking mechanism.
+	Weights ranking.Weights
+	// CreatorReward is minted to an item's creator when it resolves
+	// factual (Fig. 2's incentive for content creators; default 25).
+	CreatorReward uint64
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig() Config {
+	return Config{
+		AuthoritySeed:    "platform-authority",
+		PromoteThreshold: 0.9,
+		MaxTxsPerBlock:   512,
+		Weights:          ranking.DefaultWeights(),
+		CreatorReward:    25,
+	}
+}
+
+// Platform is one trusting-news node.
+type Platform struct {
+	mu sync.Mutex
+
+	cfg       Config
+	engine    *contract.Engine
+	chain     *ledger.Chain
+	pool      *ledger.Mempool
+	authority *keys.KeyPair
+
+	factIndex  *factdb.Index
+	graph      *supplychain.Graph
+	classifier aidetect.TextClassifier
+	mediaDet   *aidetect.MediaDetector
+
+	// receipts by tx id for inspection.
+	receipts map[ledger.TxID]contract.Receipt
+	// authNonce tracks authority txs pending beyond the committed nonce.
+	authNonce uint64
+	// replicated marks a platform driven by external consensus; standalone
+	// mining is disabled to prevent forking away from the agreed chain.
+	replicated bool
+	// clock supplies block timestamps (fixed epoch by default for
+	// reproducibility; override with SetClock).
+	clock func() time.Time
+}
+
+// New creates a platform node with all contracts registered.
+func New(cfg Config) (*Platform, error) {
+	if cfg.AuthoritySeed == "" {
+		cfg.AuthoritySeed = "platform-authority"
+	}
+	if cfg.PromoteThreshold == 0 {
+		cfg.PromoteThreshold = 0.9
+	}
+	if cfg.MaxTxsPerBlock == 0 {
+		cfg.MaxTxsPerBlock = 512
+	}
+	if cfg.Weights == (ranking.Weights{}) {
+		cfg.Weights = ranking.DefaultWeights()
+	}
+	p := &Platform{
+		cfg:       cfg,
+		engine:    contract.NewEngine(),
+		chain:     ledger.NewMemChain(),
+		authority: keys.FromSeed([]byte(cfg.AuthoritySeed)),
+		factIndex: factdb.NewIndex(),
+		mediaDet:  aidetect.NewMediaDetector(),
+		receipts:  make(map[ledger.TxID]contract.Receipt),
+		clock:     func() time.Time { return time.Unix(1562500000, 0).UTC() },
+	}
+	p.pool = ledger.NewMempool(p.chain, 1<<16)
+	p.graph = supplychain.NewGraph(p.factIndex)
+
+	auth := p.authority.Address()
+	contracts := []contract.Contract{
+		&identity.Contract{Genesis: auth},
+		&factdb.Contract{Genesis: auth, RankAuthority: auth, PromoteThreshold: cfg.PromoteThreshold},
+		supplychain.Contract{},
+		&ranking.Contract{Authority: auth},
+		newsroom.Contract{},
+		&MediaContract{},
+		evidence.Contract{},
+	}
+	for _, c := range contracts {
+		if err := p.engine.Register(c); err != nil {
+			return nil, fmt.Errorf("platform: register %s: %w", c.Name(), err)
+		}
+	}
+	return p, nil
+}
+
+// Authority returns the platform authority address (genesis for the
+// identity registry, fact authority, ranking resolver).
+func (p *Platform) Authority() keys.Address { return p.authority.Address() }
+
+// Engine exposes the contract engine for read-only queries.
+func (p *Platform) Engine() *contract.Engine { return p.engine }
+
+// Chain exposes the underlying chain.
+func (p *Platform) Chain() *ledger.Chain { return p.chain }
+
+// Graph exposes the news supply-chain graph.
+func (p *Platform) Graph() *supplychain.Graph { return p.graph }
+
+// FactIndex exposes the factual-database similarity index.
+func (p *Platform) FactIndex() *factdb.Index { return p.factIndex }
+
+// SetClock overrides the block timestamp source.
+func (p *Platform) SetClock(now func() time.Time) { p.clock = now }
+
+// TrainClassifier fits the AI text component on labelled statements.
+func (p *Platform) TrainClassifier(c aidetect.TextClassifier, train []corpus.Statement) error {
+	if err := c.Train(train); err != nil {
+		return fmt.Errorf("platform: train classifier: %w", err)
+	}
+	p.mu.Lock()
+	p.classifier = c
+	p.mu.Unlock()
+	return nil
+}
+
+// Submit verifies and enqueues a signed transaction.
+func (p *Platform) Submit(tx *ledger.Tx) error {
+	return p.pool.Add(tx)
+}
+
+// Commit mines one block from the mempool in standalone mode: executes
+// the batch, appends the block, and indexes the emitted events. It
+// returns the committed block and its receipts (nil block if the pool was
+// empty).
+func (p *Platform) Commit() (*ledger.Block, []contract.Receipt, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.replicated {
+		return nil, nil, errors.New("platform: standalone commit disabled under consensus")
+	}
+	txs := p.pool.Batch(p.cfg.MaxTxsPerBlock)
+	if len(txs) == 0 {
+		return nil, nil, nil
+	}
+	blk := ledger.NewBlock(p.chain.Height(), p.chain.HeadID(), [32]byte{}, p.clock(), p.authority.Address(), txs)
+	var recs []contract.Receipt
+	if p.cfg.ParallelExec {
+		recs, _ = p.engine.ExecuteBlockParallel(blk, 0)
+	} else {
+		recs = p.engine.ExecuteBlock(blk)
+	}
+	root, err := p.engine.StateRoot()
+	if err != nil {
+		return nil, nil, fmt.Errorf("platform: state root: %w", err)
+	}
+	blk.Header.StateRoot = root
+	if err := p.chain.Append(blk); err != nil {
+		return nil, nil, fmt.Errorf("platform: append block: %w", err)
+	}
+	p.pool.Remove(txs)
+	p.indexReceipts(txs, recs)
+	return blk, recs, nil
+}
+
+// CommitAll mines blocks until the mempool drains.
+func (p *Platform) CommitAll() error {
+	for {
+		blk, _, err := p.Commit()
+		if err != nil {
+			return err
+		}
+		if blk == nil {
+			return nil
+		}
+	}
+}
+
+// ApplyExternalBlock executes and indexes a block decided by external
+// consensus (the ChainApp commit hook path). The chain append must have
+// been performed by the caller's chain; this platform instance executes
+// against its own engine to stay in sync.
+func (p *Platform) ApplyExternalBlock(b *ledger.Block) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var recs []contract.Receipt
+	if p.cfg.ParallelExec {
+		recs, _ = p.engine.ExecuteBlockParallel(b, 0)
+	} else {
+		recs = p.engine.ExecuteBlock(b)
+	}
+	p.indexReceipts(b.Txs, recs)
+	return nil
+}
+
+// indexReceipts updates the fact index and supply-chain graph from
+// contract events. Caller holds p.mu.
+func (p *Platform) indexReceipts(txs []*ledger.Tx, recs []contract.Receipt) {
+	for i, rec := range recs {
+		p.receipts[rec.TxID] = rec
+		if !rec.OK {
+			continue
+		}
+		for _, ev := range rec.Events {
+			switch {
+			case ev.Contract == factdb.ContractName && ev.Type == "fact_added":
+				var f factdb.Fact
+				if err := decodeJSON(rec.Result, &f); err == nil {
+					p.factIndex.Add(f)
+				}
+			case ev.Contract == evidence.ContractName && ev.Type == "slashed":
+				// Close the accountability loop: a recorded consensus
+				// offence burns the offender's ranking stake. The penalty
+				// tx is enqueued here and lands in the next block.
+				if payload, err := ranking.PenalizePayload(ev.Attrs["offender"]); err == nil {
+					_ = p.authoritySubmitLocked("rank.penalize", payload)
+				}
+			case ev.Contract == supplychain.ContractName && ev.Type == "published":
+				var it supplychain.Item
+				if err := decodeJSON(rec.Result, &it); err == nil {
+					// AddItem can only fail on duplicates/orphans, which
+					// the contract already rejected.
+					_ = p.graph.AddItem(it)
+				}
+			}
+		}
+		_ = i
+	}
+	_ = txs
+}
+
+// Receipt returns the receipt for a committed transaction.
+func (p *Platform) Receipt(id ledger.TxID) (contract.Receipt, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, ok := p.receipts[id]
+	return rec, ok
+}
+
+// ---------------------------------------------------------------------------
+// Ranking pipeline.
+// ---------------------------------------------------------------------------
+
+// ItemRank is the full ranking output for one news item.
+type ItemRank struct {
+	ItemID string  `json:"itemId"`
+	Score  float64 `json:"score"`
+	// Factual is the binary verdict at 0.5.
+	Factual bool `json:"factual"`
+	// Components for transparency (the paper's WVU-style "breakdown that
+	// explains the rating", §I).
+	AIFakeProb float64                 `json:"aiFakeProb"`
+	Trace      supplychain.TraceResult `json:"trace"`
+	VoteCount  int                     `json:"voteCount"`
+	Mechanism  ranking.Mechanism       `json:"mechanism"`
+}
+
+// RankItem scores a committed news item under the given mechanism.
+func (p *Platform) RankItem(itemID string, mech ranking.Mechanism) (ItemRank, error) {
+	it, err := supplychain.GetItem(p.engine, p.authority.Address(), itemID)
+	if err != nil {
+		return ItemRank{}, err
+	}
+	sig := ranking.Signals{AIFakeProb: -1, TraceScore: -1}
+	out := ItemRank{ItemID: itemID, Mechanism: mech, AIFakeProb: -1}
+
+	p.mu.Lock()
+	cls := p.classifier
+	p.mu.Unlock()
+	if cls != nil {
+		if prob, err := cls.Score(it.Text); err == nil {
+			sig.AIFakeProb = prob
+			out.AIFakeProb = prob
+		}
+	}
+	if tr, err := p.graph.Trace(itemID); err == nil {
+		sig.TraceScore = tr.Score
+		sig.TraceRooted = tr.Rooted
+		out.Trace = tr
+	}
+	votes, err := ranking.Votes(p.engine, p.authority.Address(), itemID)
+	if err == nil {
+		sig.Votes = votes
+		out.VoteCount = len(votes)
+	}
+	agg := ranking.Aggregator{Mechanism: mech, Weights: p.cfg.Weights}
+	score, err := agg.Score(sig)
+	if err != nil {
+		return ItemRank{}, fmt.Errorf("platform: rank %s: %w", itemID, err)
+	}
+	out.Score = score
+	out.Factual = ranking.Verdict(score)
+	return out, nil
+}
+
+// ResolveByRanking ranks an item with the combined mechanism, resolves the
+// staked votes accordingly, and — when the item scores above the
+// promotion threshold — promotes it into the factual database (§VI: "if
+// the news is verified to be factual, then it can be added into the
+// factual database"). The resolution txs are committed immediately.
+func (p *Platform) ResolveByRanking(itemID string) (ItemRank, error) {
+	rank, err := p.RankItem(itemID, ranking.MechanismCombined)
+	if err != nil {
+		return ItemRank{}, err
+	}
+	payload, err := ranking.ResolvePayload(itemID, rank.Factual)
+	if err != nil {
+		return ItemRank{}, err
+	}
+	if err := p.authoritySubmit("rank.resolve", payload); err != nil {
+		return ItemRank{}, err
+	}
+	// Creator incentive (Fig. 2): verified factual content earns its
+	// creator a token reward, funding the "encourage and reward factual
+	// news sources" loop.
+	if rank.Factual && p.cfg.CreatorReward > 0 {
+		if it, err := supplychain.GetItem(p.engine, p.authority.Address(), itemID); err == nil {
+			if addr, err := keys.ParseAddress(it.Creator); err == nil {
+				if payload, err := ranking.MintPayload(addr, p.cfg.CreatorReward); err == nil {
+					if err := p.authoritySubmit("rank.mint", payload); err != nil {
+						return ItemRank{}, err
+					}
+				}
+			}
+		}
+	}
+
+	// Promotion gate (§VI): an item enters the factual database when the
+	// verdict is factual AND either its trace already certifies it (a
+	// near-verbatim descendant of a fact) or the reputation-weighted crowd
+	// consensus clears the promotion threshold — the crowd-sourced
+	// verification path for genuinely new reporting.
+	votes, _ := ranking.Votes(p.engine, p.authority.Address(), itemID)
+	crowd, hasCrowd := ranking.WeightedCrowdScore(votes)
+	certified := rank.Trace.Rooted && rank.Trace.Score >= p.cfg.PromoteThreshold
+	if rank.Factual && (certified || (hasCrowd && crowd >= p.cfg.PromoteThreshold)) {
+		it, err := supplychain.GetItem(p.engine, p.authority.Address(), itemID)
+		if err == nil && !p.factIndex.Contains(it.Text) {
+			// The stored certification score is whichever signal cleared
+			// the gate.
+			certScore := crowd
+			if certified && rank.Trace.Score > certScore {
+				certScore = rank.Trace.Score
+			}
+			pp, err := factdb.PromotePayload(itemID, it.Topic, it.Text, certScore)
+			if err == nil {
+				// A duplicate promotion (same normalized text from another
+				// item) fails in-contract; that is fine.
+				_ = p.authoritySubmit("factdb.promote", pp)
+			}
+		}
+	}
+	if err := p.CommitAll(); err != nil {
+		return ItemRank{}, err
+	}
+	return rank, nil
+}
+
+// authoritySubmit signs a tx as the platform authority and enqueues it,
+// tracking pending nonces so multiple authority txs can share one block.
+func (p *Platform) authoritySubmit(kind string, payload []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.authoritySubmitLocked(kind, payload)
+}
+
+// authoritySubmitLocked is authoritySubmit with p.mu already held.
+func (p *Platform) authoritySubmitLocked(kind string, payload []byte) error {
+	committed := p.chain.NextNonce(p.authority.Address().String())
+	if committed > p.authNonce {
+		p.authNonce = committed
+	}
+	tx, err := ledger.NewTx(p.authority, p.authNonce, kind, payload)
+	if err != nil {
+		return err
+	}
+	if err := p.pool.Add(tx); err != nil {
+		return err
+	}
+	p.authNonce++
+	return nil
+}
+
+// SubmitAuthority signs a transaction as the platform authority and
+// commits immediately. Experiments use it to resolve items against a
+// ground-truth oracle.
+func (p *Platform) SubmitAuthority(kind string, payload []byte) error {
+	if err := p.authoritySubmit(kind, payload); err != nil {
+		return err
+	}
+	return p.CommitAll()
+}
+
+// MintTo grants platform tokens (authority-signed) and commits.
+func (p *Platform) MintTo(addr keys.Address, amount uint64) error {
+	payload, err := ranking.MintPayload(addr, amount)
+	if err != nil {
+		return err
+	}
+	if err := p.authoritySubmit("rank.mint", payload); err != nil {
+		return err
+	}
+	return p.CommitAll()
+}
+
+// VerifyAccount genesis-verifies a registered account and commits.
+func (p *Platform) VerifyAccount(addr keys.Address) error {
+	payload, err := identity.ActPayload(addr)
+	if err != nil {
+		return err
+	}
+	if err := p.authoritySubmit("identity.verify", payload); err != nil {
+		return err
+	}
+	return p.CommitAll()
+}
+
+// SeedFact adds an official record to the factual database and commits.
+func (p *Platform) SeedFact(id string, topic corpus.Topic, text string) error {
+	payload, err := factdb.SeedPayload(id, topic, text)
+	if err != nil {
+		return err
+	}
+	if err := p.authoritySubmit("factdb.seed", payload); err != nil {
+		return err
+	}
+	return p.CommitAll()
+}
+
+// Experts mines the ledger for domain-topic experts (§VI, experiment E8).
+func (p *Platform) Experts(topic corpus.Topic, k int) []supplychain.ExpertScore {
+	traces := p.graph.TraceAll()
+	return p.graph.Experts(topic, traces, k)
+}
+
+// ---------------------------------------------------------------------------
+// Actor: a convenience client holding a key and tracking nonces.
+// ---------------------------------------------------------------------------
+
+// Actor is a platform participant bound to one key pair.
+type Actor struct {
+	kp *keys.KeyPair
+	p  *Platform
+	mu sync.Mutex
+	n  uint64
+}
+
+// NewActor derives an actor from a seed name.
+func (p *Platform) NewActor(seed string) *Actor {
+	return &Actor{kp: keys.FromSeed([]byte(seed)), p: p}
+}
+
+// Address returns the actor's ledger address.
+func (a *Actor) Address() keys.Address { return a.kp.Address() }
+
+// Key exposes the actor's key pair (for consensus wiring).
+func (a *Actor) Key() *keys.KeyPair { return a.kp }
+
+// Send signs, submits and returns the tx (not yet committed).
+func (a *Actor) Send(kind string, payload []byte) (*ledger.Tx, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	committed := a.p.chain.NextNonce(a.kp.Address().String())
+	if committed > a.n {
+		a.n = committed
+	}
+	tx, err := ledger.NewTx(a.kp, a.n, kind, payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.p.Submit(tx); err != nil {
+		return nil, err
+	}
+	a.n++
+	return tx, nil
+}
+
+// MustExec sends a tx, commits, and fails if the receipt is not OK.
+func (a *Actor) MustExec(kind string, payload []byte) (contract.Receipt, error) {
+	tx, err := a.Send(kind, payload)
+	if err != nil {
+		return contract.Receipt{}, err
+	}
+	if err := a.p.CommitAll(); err != nil {
+		return contract.Receipt{}, err
+	}
+	rec, ok := a.p.Receipt(tx.ID())
+	if !ok {
+		return contract.Receipt{}, fmt.Errorf("%w: no receipt for %s", ErrTxFailed, tx.ID().Short())
+	}
+	if !rec.OK {
+		return rec, fmt.Errorf("%w: %s: %s", ErrTxFailed, kind, rec.Err)
+	}
+	return rec, nil
+}
+
+// Register registers the actor's identity with a role.
+func (a *Actor) Register(name string, role identity.Role) error {
+	payload, err := identity.RegisterPayload(name, role)
+	if err != nil {
+		return err
+	}
+	_, err = a.MustExec("identity.register", payload)
+	return err
+}
+
+// PublishNews publishes a news item (optionally derived from parents).
+func (a *Actor) PublishNews(id string, topic corpus.Topic, text string, parents []string, op corpus.Op) error {
+	payload, err := supplychain.PublishPayload(id, topic, text, parents, op)
+	if err != nil {
+		return err
+	}
+	_, err = a.MustExec("news.publish", payload)
+	return err
+}
+
+// Relay republishes a committed item verbatim under a new id.
+func (a *Actor) Relay(newID, parentID string) error {
+	parent, err := supplychain.GetItem(a.p.engine, a.kp.Address(), parentID)
+	if err != nil {
+		return err
+	}
+	return a.PublishNews(newID, parent.Topic, parent.Text, []string{parentID}, corpus.OpVerbatim)
+}
+
+// Vote stakes tokens on an item's verdict.
+func (a *Actor) Vote(itemID string, factual bool, stake uint64) error {
+	payload, err := ranking.VotePayload(itemID, factual, stake)
+	if err != nil {
+		return err
+	}
+	_, err = a.MustExec("rank.vote", payload)
+	return err
+}
+
+// Balance returns the actor's token balance.
+func (a *Actor) Balance() (uint64, error) {
+	return ranking.Balance(a.p.engine, a.kp.Address(), a.kp.Address())
+}
+
+// Reputation returns the actor's ranking reputation.
+func (a *Actor) Reputation() (float64, error) {
+	return ranking.Reputation(a.p.engine, a.kp.Address(), a.kp.Address())
+}
+
+func decodeJSON(raw []byte, v any) error {
+	if len(raw) == 0 {
+		return errors.New("platform: empty result")
+	}
+	return json.Unmarshal(raw, v)
+}

@@ -1,0 +1,144 @@
+package predict
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/social"
+)
+
+// DatasetConfig sizes the simulated cascade dataset used to train and
+// evaluate the outbreak predictor.
+type DatasetConfig struct {
+	Net social.Config
+	// Cascades per class (fake/factual).
+	CascadesPerClass int
+	// Seeds per cascade.
+	Seeds int
+	// Rounds to run the full cascade (labels use the final reach).
+	Rounds int
+	// ViralThreshold: a fake cascade whose final reach exceeds
+	// ViralThreshold * seeds is an outbreak.
+	ViralThreshold float64
+	// Window is the observation prefix the predictor sees.
+	Window int
+	// AINoise adds uniform noise to the simulated AI score, modelling an
+	// imperfect classifier.
+	AINoise float64
+	Seed    int64
+}
+
+// DefaultDatasetConfig returns a moderate configuration.
+func DefaultDatasetConfig() DatasetConfig {
+	net := social.DefaultConfig()
+	net.Users, net.Bots, net.Cyborgs = 2000, 140, 80
+	return DatasetConfig{
+		Net:              net,
+		CascadesPerClass: 80,
+		Seeds:            5,
+		Rounds:           14,
+		ViralThreshold:   30,
+		Window:           2,
+		AINoise:          0.25,
+		Seed:             13,
+	}
+}
+
+// BuildDataset simulates labelled cascades and extracts observations at
+// the configured window. It returns the examples plus the base rate of
+// outbreaks (for reporting).
+func BuildDataset(cfg DatasetConfig) ([]Example, float64, error) {
+	net, err := social.NewNetwork(cfg.Net)
+	if err != nil {
+		return nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	params := social.DefaultSpreadParams()
+
+	var examples []Example
+	outbreaks := 0
+	for i := 0; i < cfg.CascadesPerClass*2; i++ {
+		kind := social.ItemFactual
+		if i%2 == 0 {
+			kind = social.ItemFake
+		}
+		// Per-cascade virality jitter: not every fake catches on (a weak
+		// hoax from weak amplification fizzles), which is what makes the
+		// prediction task non-trivial — "fake" alone must not determine
+		// the outbreak label.
+		p := params
+		var seeds []int
+		if kind == social.ItemFake {
+			p.FakeBoost = 0.9 + 1.4*rng.Float64()
+			p.BotBoost = 1.5 + 3.5*rng.Float64()
+			if rng.Float64() < 0.55 {
+				seeds = pick(net.BotSeeds(cfg.Seeds*3), cfg.Seeds, rng)
+			} else {
+				seeds = pick(net.RegularSeeds(cfg.Seeds*3), cfg.Seeds, rng)
+			}
+		} else {
+			p.FactualBoost = 0.8 + 0.8*rng.Float64()
+			seeds = pick(net.RegularSeeds(cfg.Seeds*4), cfg.Seeds, rng)
+		}
+		res, cohorts, err := net.SpreadDetailed(kind, seeds, p, cfg.Rounds, cfg.Seed+int64(i)*31)
+		if err != nil {
+			return nil, 0, fmt.Errorf("predict: cascade %d: %w", i, err)
+		}
+		// Simulated platform signals: imperfect and *overlapping* AI and
+		// trace scores — knowing an item is probably fake is not the same
+		// as knowing it will go viral.
+		ai := clamp01(0.35 + cfg.AINoise*2*(rng.Float64()-0.5))
+		trace := clamp01(0.7 + 0.4*(rng.Float64()-0.5))
+		if kind == social.ItemFake {
+			ai = clamp01(0.65 + cfg.AINoise*2*(rng.Float64()-0.5))
+			trace = clamp01(0.45 + 0.4*(rng.Float64()-0.5))
+		}
+		obs, err := Extract(net, cohorts, cfg.Window, ai, trace)
+		if err != nil {
+			return nil, 0, err
+		}
+		outbreak := kind == social.ItemFake && float64(res.Reached) > cfg.ViralThreshold*float64(len(seeds))
+		if outbreak {
+			outbreaks++
+		}
+		examples = append(examples, Example{Obs: obs, Outbreak: outbreak})
+	}
+	return examples, float64(outbreaks) / float64(len(examples)), nil
+}
+
+func pick(pool []int, k int, rng *rand.Rand) []int {
+	if k >= len(pool) {
+		return pool
+	}
+	idx := rng.Perm(len(pool))[:k]
+	out := make([]int, k)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SplitExamples partitions examples into train/test deterministically.
+func SplitExamples(examples []Example, trainFrac float64, seed int64) (train, test []Example) {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(examples))
+	cut := int(float64(len(idx)) * trainFrac)
+	for i, j := range idx {
+		if i < cut {
+			train = append(train, examples[j])
+		} else {
+			test = append(test, examples[j])
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,203 @@
+// Package predict implements the paper's §VII hard research challenge:
+// "fake news prediction algorithms to anticipate the onset of a fake news
+// propagation before it is actually propagated and disputed."
+//
+// The predictor watches the first few rounds of a cascade and the
+// platform's per-item signals, and predicts whether the item is a fake
+// about to go viral — early enough that flagging (E7 shows earlier is
+// stronger) still matters. Features:
+//
+//   - bot/cyborg share among the early spreaders (Grinberg et al.'s
+//     driver, §II),
+//   - early growth rate (round-over-round reach ratio),
+//   - early reach relative to seed count,
+//   - the AI text score when available,
+//   - the supply-chain trace score when available.
+//
+// A tiny logistic model (trained by deterministic SGD on simulated
+// cascades) combines them; experiment E13 sweeps the observation window.
+package predict
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/social"
+)
+
+// Errors returned by this package.
+var (
+	// ErrNotTrained indicates Score before Train.
+	ErrNotTrained = errors.New("predict: model not trained")
+	// ErrNoData indicates an empty training set.
+	ErrNoData = errors.New("predict: empty training set")
+	// ErrBadWindow indicates an observation window shorter than 1 round.
+	ErrBadWindow = errors.New("predict: observation window must be >= 1 round")
+)
+
+// featureCount is the model dimensionality (incl. bias).
+const featureCount = 6
+
+// Observation is what the platform can see after watching a cascade for a
+// small number of rounds.
+type Observation struct {
+	// BotShare is the fraction of early spreaders that are bots/cyborgs.
+	BotShare float64
+	// GrowthRate is reach(window)/reach(window-1).
+	GrowthRate float64
+	// RelativeReach is reach(window)/seeds.
+	RelativeReach float64
+	// AIFakeProb is the text detector's score (negative = unavailable).
+	AIFakeProb float64
+	// TraceScore is the supply-chain factualness (negative = unavailable).
+	TraceScore float64
+}
+
+// Extract builds an Observation from the first `window` rounds of a
+// detailed cascade (cohorts as returned by Network.SpreadDetailed).
+func Extract(net *social.Network, cohorts [][]int, window int, aiFakeProb, traceScore float64) (Observation, error) {
+	if window < 1 {
+		return Observation{}, ErrBadWindow
+	}
+	if window >= len(cohorts) {
+		window = len(cohorts) - 1
+	}
+	if window < 1 {
+		// Cascade died at the seeds.
+		return Observation{
+			BotShare: botShare(net, cohorts[0]), GrowthRate: 0, RelativeReach: 1,
+			AIFakeProb: aiFakeProb, TraceScore: traceScore,
+		}, nil
+	}
+	var early []int
+	for _, c := range cohorts[:window+1] {
+		early = append(early, c...)
+	}
+	reachW := len(early)
+	reachPrev := reachW - len(cohorts[window])
+	growth := 0.0
+	if reachPrev > 0 {
+		growth = float64(reachW) / float64(reachPrev)
+	}
+	seeds := len(cohorts[0])
+	rel := 0.0
+	if seeds > 0 {
+		rel = float64(reachW) / float64(seeds)
+	}
+	return Observation{
+		BotShare:      botShare(net, early),
+		GrowthRate:    growth,
+		RelativeReach: rel,
+		AIFakeProb:    aiFakeProb,
+		TraceScore:    traceScore,
+	}, nil
+}
+
+func botShare(net *social.Network, users []int) float64 {
+	if len(users) == 0 {
+		return 0
+	}
+	bots := 0
+	for _, u := range users {
+		if net.UserAt(u).Kind != social.KindRegular {
+			bots++
+		}
+	}
+	return float64(bots) / float64(len(users))
+}
+
+// vector converts an observation into the model's feature vector.
+func (o Observation) vector() [featureCount]float64 {
+	var f [featureCount]float64
+	f[0] = o.BotShare
+	f[1] = math.Min(o.GrowthRate/4, 1)
+	f[2] = math.Min(o.RelativeReach/20, 1)
+	if o.AIFakeProb >= 0 {
+		f[3] = o.AIFakeProb
+	} else {
+		f[3] = 0.5 // unknown
+	}
+	if o.TraceScore >= 0 {
+		f[4] = 1 - o.TraceScore
+	} else {
+		f[4] = 0.5
+	}
+	f[5] = 1 // bias
+	return f
+}
+
+// Example is a labelled training observation.
+type Example struct {
+	Obs Observation
+	// Outbreak labels a cascade that was fake AND exceeded the viral
+	// reach threshold.
+	Outbreak bool
+}
+
+// Model is the outbreak predictor.
+type Model struct {
+	// Epochs, LearnRate, L2 tune SGD (defaults 60, 0.5, 1e-4).
+	Epochs    int
+	LearnRate float64
+	L2        float64
+
+	weights [featureCount]float64
+	trained bool
+}
+
+// NewModel returns a model with default hyperparameters.
+func NewModel() *Model { return &Model{Epochs: 60, LearnRate: 0.5, L2: 1e-4} }
+
+// Train fits the model on labelled examples (deterministic).
+func (m *Model) Train(examples []Example) error {
+	if len(examples) == 0 {
+		return ErrNoData
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 60
+	}
+	if m.LearnRate <= 0 {
+		m.LearnRate = 0.5
+	}
+	rng := rand.New(rand.NewSource(17))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		rate := m.LearnRate / (1 + 0.1*float64(epoch))
+		for _, idx := range order {
+			ex := examples[idx]
+			f := ex.Obs.vector()
+			var z float64
+			for i := range f {
+				z += m.weights[i] * f[i]
+			}
+			y := 0.0
+			if ex.Outbreak {
+				y = 1
+			}
+			g := 1/(1+math.Exp(-z)) - y
+			for i := range f {
+				m.weights[i] -= rate * (g*f[i] + m.L2*m.weights[i])
+			}
+		}
+	}
+	m.trained = true
+	return nil
+}
+
+// Score returns the predicted outbreak probability.
+func (m *Model) Score(o Observation) (float64, error) {
+	if !m.trained {
+		return 0, ErrNotTrained
+	}
+	f := o.vector()
+	var z float64
+	for i := range f {
+		z += m.weights[i] * f[i]
+	}
+	return 1 / (1 + math.Exp(-z)), nil
+}

@@ -1,0 +1,152 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/aidetect"
+	"repro/internal/social"
+)
+
+func TestModelGuards(t *testing.T) {
+	m := NewModel()
+	if _, err := m.Score(Observation{}); err != ErrNotTrained {
+		t.Fatalf("want ErrNotTrained, got %v", err)
+	}
+	if err := m.Train(nil); err != ErrNoData {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+}
+
+func TestExtractWindowValidation(t *testing.T) {
+	net, err := social.NewNetwork(social.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Extract(net, [][]int{{0}}, 0, -1, -1); err != ErrBadWindow {
+		t.Fatalf("want ErrBadWindow, got %v", err)
+	}
+	// A dead cascade (seeds only) still extracts.
+	obs, err := Extract(net, [][]int{{0, 1}}, 3, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.RelativeReach != 1 {
+		t.Fatalf("obs=%+v", obs)
+	}
+}
+
+func TestExtractBotShare(t *testing.T) {
+	net, err := social.NewNetwork(social.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bots := net.BotSeeds(4)
+	regs := net.RegularSeeds(4)
+	botObs, err := Extract(net, [][]int{bots, bots[:2]}, 1, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regObs, err := Extract(net, [][]int{regs, regs[:2]}, 1, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if botObs.BotShare != 1 || regObs.BotShare != 0 {
+		t.Fatalf("bot=%f reg=%f", botObs.BotShare, regObs.BotShare)
+	}
+}
+
+func TestExtractGrowth(t *testing.T) {
+	net, err := social.NewNetwork(social.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohorts := [][]int{{0, 1}, {2, 3}, {4, 5, 6, 7}}
+	obs, err := Extract(net, cohorts, 2, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// reach(2)=8, reach(1)=4 → growth 2; relative reach 8/2=4.
+	if math.Abs(obs.GrowthRate-2) > 1e-9 || math.Abs(obs.RelativeReach-4) > 1e-9 {
+		t.Fatalf("obs=%+v", obs)
+	}
+}
+
+func TestPredictorLearnsOutbreaks(t *testing.T) {
+	cfg := DefaultDatasetConfig()
+	cfg.CascadesPerClass = 60
+	examples, baseRate, err := BuildDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRate <= 0.05 || baseRate >= 0.6 {
+		t.Fatalf("degenerate base rate %.3f", baseRate)
+	}
+	train, test := SplitExamples(examples, 0.7, 1)
+	m := NewModel()
+	if err := m.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(test))
+	labels := make([]bool, len(test))
+	for i, ex := range test {
+		s, err := m.Score(ex.Obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores[i] = s
+		labels[i] = ex.Outbreak
+	}
+	ev := aidetect.Metrics(scores, labels)
+	if ev.AUC < 0.8 {
+		t.Fatalf("predictor AUC=%.3f want >=0.8", ev.AUC)
+	}
+}
+
+func TestEarlierWindowsAreHarder(t *testing.T) {
+	auc := func(window int) float64 {
+		cfg := DefaultDatasetConfig()
+		cfg.CascadesPerClass = 60
+		cfg.Window = window
+		examples, _, err := BuildDataset(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train, test := SplitExamples(examples, 0.7, 2)
+		m := NewModel()
+		if err := m.Train(train); err != nil {
+			t.Fatal(err)
+		}
+		scores := make([]float64, len(test))
+		labels := make([]bool, len(test))
+		for i, ex := range test {
+			s, _ := m.Score(ex.Obs)
+			scores[i] = s
+			labels[i] = ex.Outbreak
+		}
+		return aidetect.Metrics(scores, labels).AUC
+	}
+	early, late := auc(1), auc(4)
+	// More observation should not hurt (allow small noise).
+	if late < early-0.05 {
+		t.Fatalf("window=4 AUC %.3f much worse than window=1 %.3f", late, early)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	cfg := DefaultDatasetConfig()
+	cfg.CascadesPerClass = 30
+	examples, _, err := BuildDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() float64 {
+		m := NewModel()
+		m.Train(examples)
+		s, _ := m.Score(examples[0].Obs)
+		return s
+	}
+	if run() != run() {
+		t.Fatal("training not deterministic")
+	}
+}

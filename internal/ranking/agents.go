@@ -1,0 +1,69 @@
+package ranking
+
+import (
+	"math/rand"
+)
+
+// Voter agent models for the E5 bias sweep. The paper's concern (§IV) is
+// that "traditional majority decided crowd sourcing mechanisms" can be
+// captured by coordinated blocs; these agents reproduce that population.
+
+// VoterKind labels agent behaviour.
+type VoterKind string
+
+// Agent kinds.
+const (
+	// VoterHonest votes the ground truth with some personal accuracy.
+	VoterHonest VoterKind = "honest"
+	// VoterBiased votes a fixed agenda: calls true items fake and fake
+	// items factual (a coordinated disinformation bloc).
+	VoterBiased VoterKind = "biased"
+	// VoterLazy votes uniformly at random.
+	VoterLazy VoterKind = "lazy"
+)
+
+// Agent is one simulated crowd participant.
+type Agent struct {
+	Kind VoterKind
+	// Accuracy applies to honest voters (probability of voting truth).
+	Accuracy float64
+}
+
+// Decide returns the agent's vote for an item whose ground truth is
+// isFactual.
+func (a Agent) Decide(isFactual bool, rng *rand.Rand) bool {
+	switch a.Kind {
+	case VoterBiased:
+		return !isFactual
+	case VoterLazy:
+		return rng.Float64() < 0.5
+	default:
+		acc := a.Accuracy
+		if acc == 0 {
+			acc = 0.9
+		}
+		if rng.Float64() < acc {
+			return isFactual
+		}
+		return !isFactual
+	}
+}
+
+// Population builds a voter mix: biasedFrac of the n agents are biased,
+// lazyFrac are lazy, the rest honest with the given accuracy.
+func Population(n int, biasedFrac, lazyFrac, honestAccuracy float64) []Agent {
+	out := make([]Agent, n)
+	nBiased := int(float64(n) * biasedFrac)
+	nLazy := int(float64(n) * lazyFrac)
+	for i := range out {
+		switch {
+		case i < nBiased:
+			out[i] = Agent{Kind: VoterBiased}
+		case i < nBiased+nLazy:
+			out[i] = Agent{Kind: VoterLazy}
+		default:
+			out[i] = Agent{Kind: VoterHonest, Accuracy: honestAccuracy}
+		}
+	}
+	return out
+}

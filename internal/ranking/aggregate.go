@@ -1,0 +1,160 @@
+package ranking
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mechanism selects how an item's factualness is computed. The paper's
+// full mechanism combines AI, trace and reputation-weighted crowd signals;
+// the others are the E5 ablation baselines.
+type Mechanism string
+
+// Ranking mechanisms.
+const (
+	// MechanismMajority is the traditional crowd baseline: unweighted
+	// majority vote — the mechanism whose bias failure the paper argues
+	// the platform prevents (§IV).
+	MechanismMajority Mechanism = "majority"
+	// MechanismAIOnly uses only the AI detector score.
+	MechanismAIOnly Mechanism = "ai"
+	// MechanismTraceOnly uses only the supply-chain trace score.
+	MechanismTraceOnly Mechanism = "trace"
+	// MechanismCombined is the paper's full AI+trace+weighted-crowd mix.
+	MechanismCombined Mechanism = "combined"
+)
+
+// AllMechanisms lists every mechanism for sweeps.
+var AllMechanisms = []Mechanism{MechanismMajority, MechanismAIOnly, MechanismTraceOnly, MechanismCombined}
+
+// ErrNoSignal indicates an item with neither votes nor model scores.
+var ErrNoSignal = errors.New("ranking: no signal available for item")
+
+// Signals carries the per-item inputs to aggregation.
+type Signals struct {
+	// AIFakeProb is the AI detector's P(fake) in [0,1]; negative = absent.
+	AIFakeProb float64
+	// TraceScore is the supply-chain factualness in [0,1]; negative =
+	// absent (item not on the graph).
+	TraceScore float64
+	// TraceRooted reports whether the item reaches a factual root.
+	TraceRooted bool
+	// Votes are the item's recorded crowd votes.
+	Votes []Vote
+}
+
+// Weights tunes the combined mechanism.
+type Weights struct {
+	AI    float64
+	Trace float64
+	Crowd float64
+}
+
+// DefaultWeights reflect the paper's emphasis: the trace to the factual
+// database is the backbone, the AI and crowd signals corroborate.
+func DefaultWeights() Weights { return Weights{AI: 0.25, Trace: 0.45, Crowd: 0.30} }
+
+// Aggregator computes factualness scores under a mechanism.
+type Aggregator struct {
+	Mechanism Mechanism
+	Weights   Weights
+}
+
+// NewAggregator builds an aggregator with default weights.
+func NewAggregator(m Mechanism) *Aggregator {
+	return &Aggregator{Mechanism: m, Weights: DefaultWeights()}
+}
+
+// Score returns the item's factualness in [0,1] (1 = factual).
+func (a *Aggregator) Score(s Signals) (float64, error) {
+	switch a.Mechanism {
+	case MechanismMajority:
+		if len(s.Votes) == 0 {
+			return 0, ErrNoSignal
+		}
+		factual := 0
+		for _, v := range s.Votes {
+			if v.Factual {
+				factual++
+			}
+		}
+		return float64(factual) / float64(len(s.Votes)), nil
+	case MechanismAIOnly:
+		if s.AIFakeProb < 0 {
+			return 0, ErrNoSignal
+		}
+		return 1 - s.AIFakeProb, nil
+	case MechanismTraceOnly:
+		if s.TraceScore < 0 {
+			return 0, ErrNoSignal
+		}
+		return s.TraceScore, nil
+	case MechanismCombined:
+		return a.combined(s)
+	default:
+		return 0, fmt.Errorf("ranking: unknown mechanism %q", a.Mechanism)
+	}
+}
+
+// combined blends available signals, renormalizing weights when a signal
+// is absent.
+func (a *Aggregator) combined(s Signals) (float64, error) {
+	w := a.Weights
+	var total, sum float64
+	if s.AIFakeProb >= 0 {
+		total += w.AI
+		sum += w.AI * (1 - s.AIFakeProb)
+	}
+	if s.TraceScore >= 0 {
+		// An unrooted trace means "unverifiable", which is weaker evidence
+		// than "traced to a modified source": halve its weight so genuinely
+		// new reporting is decided mostly by the AI and crowd signals.
+		wt := w.Trace
+		if !s.TraceRooted {
+			wt /= 2
+		}
+		total += wt
+		sum += wt * s.TraceScore
+	}
+	if crowd, ok := weightedCrowd(s.Votes); ok {
+		total += w.Crowd
+		sum += w.Crowd * crowd
+	}
+	if total == 0 {
+		return 0, ErrNoSignal
+	}
+	return sum / total, nil
+}
+
+// weightedCrowd is the reputation-and-stake-weighted factual share. This
+// is where accountability defeats bias: a bloc of low-reputation accounts
+// (their reputations ground down by past wrong votes on resolved items)
+// moves the score far less than the same bloc moves a plain majority.
+func weightedCrowd(votes []Vote) (float64, bool) {
+	if len(votes) == 0 {
+		return 0, false
+	}
+	var num, den float64
+	for _, v := range votes {
+		w := v.Rep * float64(v.Stake)
+		den += w
+		if v.Factual {
+			num += w
+		}
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// Verdict converts a score into the binary factual/fake call at 0.5.
+func Verdict(score float64) bool { return score >= 0.5 }
+
+// WeightedCrowdScore exposes the reputation-and-stake-weighted factual
+// share of a vote set (ok=false when there are no weighted votes). The
+// platform's factual-database promotion gate uses it: facts enter the DB
+// only on strong verified-crowd consensus (§VI).
+func WeightedCrowdScore(votes []Vote) (float64, bool) {
+	return weightedCrowd(votes)
+}

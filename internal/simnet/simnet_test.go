@@ -1,0 +1,296 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAddNodeDuplicate(t *testing.T) {
+	n := New(1)
+	if err := n.AddNode("a", func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode("a", func(Message) {}); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("want ErrDuplicateNode, got %v", err)
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	n := New(1)
+	n.AddNode("a", func(Message) {})
+	if err := n.Send("a", "ghost", "k", nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("want ErrUnknownNode, got %v", err)
+	}
+	if err := n.Send("ghost", "a", "k", nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("want ErrUnknownNode, got %v", err)
+	}
+}
+
+func TestDeliveryOrderByVirtualTime(t *testing.T) {
+	n := New(42)
+	var got []string
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(m Message) { got = append(got, m.Kind) })
+	n.SetLink("a", "b", LinkConfig{BaseLatency: 10 * time.Millisecond})
+	n.Send("a", "b", "first", nil)
+	n.SetLink("a", "b", LinkConfig{BaseLatency: 1 * time.Millisecond})
+	n.Send("a", "b", "second", nil)
+	n.Run(0)
+	if len(got) != 2 || got[0] != "second" || got[1] != "first" {
+		t.Fatalf("got %v, want [second first]", got)
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	n := New(1)
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(Message) {})
+	n.SetLink("a", "b", LinkConfig{BaseLatency: 25 * time.Millisecond})
+	n.Send("a", "b", "x", nil)
+	n.Run(0)
+	if n.Now() != 25*time.Millisecond {
+		t.Fatalf("now=%v", n.Now())
+	}
+}
+
+func TestLossRateDropsEverything(t *testing.T) {
+	n := New(7)
+	delivered := 0
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(Message) { delivered++ })
+	n.SetLink("a", "b", LinkConfig{BaseLatency: time.Millisecond, LossRate: 1.0})
+	for i := 0; i < 50; i++ {
+		n.Send("a", "b", "x", nil)
+	}
+	n.Run(0)
+	if delivered != 0 {
+		t.Fatalf("delivered=%d with loss=1.0", delivered)
+	}
+	if n.Stats().Dropped != 50 {
+		t.Fatalf("dropped=%d", n.Stats().Dropped)
+	}
+}
+
+func TestLossRateStatistical(t *testing.T) {
+	n := New(99)
+	delivered := 0
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(Message) { delivered++ })
+	n.SetLink("a", "b", LinkConfig{BaseLatency: time.Millisecond, LossRate: 0.5})
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Send("a", "b", "x", nil)
+	}
+	n.Run(0)
+	if delivered < total*35/100 || delivered > total*65/100 {
+		t.Fatalf("delivered=%d of %d at 50%% loss — far outside expectation", delivered, total)
+	}
+}
+
+func TestPartitionBlocksCrossGroup(t *testing.T) {
+	n := New(3)
+	deliveredB, deliveredC := 0, 0
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(Message) { deliveredB++ })
+	n.AddNode("c", func(Message) { deliveredC++ })
+	n.Partition([]NodeID{"a", "b"}, []NodeID{"c"})
+	n.Send("a", "b", "x", nil)
+	n.Send("a", "c", "x", nil)
+	n.Run(0)
+	if deliveredB != 1 || deliveredC != 0 {
+		t.Fatalf("b=%d c=%d; want same-group delivered, cross-group dropped", deliveredB, deliveredC)
+	}
+	n.Heal()
+	n.Send("a", "c", "x", nil)
+	n.Run(0)
+	if deliveredC != 1 {
+		t.Fatalf("after heal c=%d", deliveredC)
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	n := New(1)
+	n.AddNode("a", func(Message) {})
+	fired := time.Duration(-1)
+	n.After("a", 40*time.Millisecond, func() { fired = n.Now() })
+	n.Run(0)
+	if fired != 40*time.Millisecond {
+		t.Fatalf("fired at %v", fired)
+	}
+}
+
+func TestHandlersCanSendMore(t *testing.T) {
+	n := New(1)
+	hops := 0
+	n.AddNode("a", func(m Message) {
+		hops++
+		if hops < 5 {
+			n.Send("a", "b", "ping", nil)
+		}
+	})
+	n.AddNode("b", func(m Message) {
+		n.Send("b", "a", "pong", nil)
+	})
+	n.Send("b", "a", "start", nil)
+	n.Run(0)
+	if hops != 5 {
+		t.Fatalf("hops=%d", hops)
+	}
+}
+
+func TestRunUntilCapsVirtualTime(t *testing.T) {
+	n := New(1)
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(Message) {})
+	n.SetLink("a", "b", LinkConfig{BaseLatency: time.Second})
+	n.Send("a", "b", "x", nil)
+	n.Run(100 * time.Millisecond)
+	if n.Now() != 100*time.Millisecond {
+		t.Fatalf("now=%v", n.Now())
+	}
+	if n.Pending() != 1 {
+		t.Fatalf("pending=%d; event must remain queued", n.Pending())
+	}
+	n.Run(0)
+	if n.Pending() != 0 {
+		t.Fatal("event must deliver after cap lifted")
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	n := New(1)
+	counts := make(map[NodeID]int)
+	for _, id := range []NodeID{"a", "b", "c", "d"} {
+		id := id
+		n.AddNode(id, func(Message) { counts[id]++ })
+	}
+	n.Broadcast("a", "hello", nil)
+	n.Run(0)
+	if counts["a"] != 0 || counts["b"] != 1 || counts["c"] != 1 || counts["d"] != 1 {
+		t.Fatalf("counts=%v", counts)
+	}
+}
+
+func TestDeterminismFromSeed(t *testing.T) {
+	run := func(seed int64) []string {
+		n := New(seed)
+		var order []string
+		handler := func(m Message) { order = append(order, string(m.To)+":"+m.Kind) }
+		for _, id := range []NodeID{"a", "b", "c"} {
+			n.AddNode(id, handler)
+		}
+		n.SetAllLinks(LinkConfig{BaseLatency: time.Millisecond, Jitter: 10 * time.Millisecond, LossRate: 0.2})
+		for i := 0; i < 30; i++ {
+			n.Broadcast("a", "m", i)
+		}
+		n.Run(0)
+		return order
+	}
+	a1, a2 := run(5), run(5)
+	if len(a1) != len(a2) {
+		t.Fatalf("lengths differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("order diverges at %d: %s vs %s", i, a1[i], a2[i])
+		}
+	}
+	b := run(6)
+	same := len(a1) == len(b)
+	if same {
+		for i := range a1 {
+			if a1[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should (overwhelmingly) diverge")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := New(1)
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(Message) {})
+	n.SetSizer(func(Message) int { return 100 })
+	n.Send("a", "b", "x", nil)
+	n.Send("a", "b", "y", nil)
+	n.Run(0)
+	s := n.Stats()
+	if s.Sent != 2 || s.Delivered != 2 || s.Bytes != 200 {
+		t.Fatalf("stats=%+v", s)
+	}
+}
+
+// Property: with no loss and no partition, every sent message is delivered
+// exactly once, regardless of latency configuration.
+func TestDeliveryConservationProperty(t *testing.T) {
+	f := func(seed int64, msgCount uint8, latencyMs uint8) bool {
+		n := New(seed)
+		delivered := 0
+		n.AddNode("src", func(Message) {})
+		n.AddNode("dst", func(Message) { delivered++ })
+		n.SetLink("src", "dst", LinkConfig{
+			BaseLatency: time.Duration(latencyMs) * time.Millisecond,
+			Jitter:      time.Duration(latencyMs) * time.Millisecond,
+		})
+		total := int(msgCount)
+		for i := 0; i < total; i++ {
+			if err := n.Send("src", "dst", "m", i); err != nil {
+				return false
+			}
+		}
+		n.Run(0)
+		return delivered == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSendDeliver(b *testing.B) {
+	n := New(1)
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(Message) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send("a", "b", "x", nil)
+		n.Step()
+	}
+}
+
+func TestSetHandlerSwapsDelivery(t *testing.T) {
+	n := New(1)
+	first, second := 0, 0
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(Message) { first++ })
+	n.Send("a", "b", "x", nil)
+	n.Run(0)
+	if err := n.SetHandler("b", func(Message) { second++ }); err != nil {
+		t.Fatal(err)
+	}
+	n.Send("a", "b", "x", nil)
+	n.Run(0)
+	if first != 1 || second != 1 {
+		t.Fatalf("first=%d second=%d", first, second)
+	}
+	if err := n.SetHandler("ghost", func(Message) {}); err == nil {
+		t.Fatal("want error for unknown node")
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	n := New(1)
+	for _, id := range []NodeID{"c", "a", "b"} {
+		n.AddNode(id, func(Message) {})
+	}
+	got := n.Nodes()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("nodes=%v", got)
+	}
+}

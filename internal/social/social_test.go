@@ -1,0 +1,247 @@
+package social
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func buildNet(t testing.TB, cfg Config) *Network {
+	t.Helper()
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func avgReach(t testing.TB, n *Network, kind ItemKind, seeds []int, p SpreadParams, runs int) float64 {
+	t.Helper()
+	var sum float64
+	for i := 0; i < runs; i++ {
+		res, err := n.Spread(kind, seeds, p, 30, int64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(res.Reached)
+	}
+	return sum / float64(runs)
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(Config{Users: 1, AvgFollows: 0, Groups: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.Homophily = 1.5
+	if _, err := NewNetwork(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestNetworkComposition(t *testing.T) {
+	n := buildNet(t, DefaultConfig())
+	counts := make(map[UserKind]int)
+	for i := 0; i < n.Size(); i++ {
+		counts[n.UserAt(i).Kind]++
+	}
+	if counts[KindRegular] != 900 || counts[KindBot] != 60 || counts[KindCyborg] != 40 {
+		t.Fatalf("counts=%v", counts)
+	}
+}
+
+func TestHomophilyShapesEdges(t *testing.T) {
+	high := buildNet(t, Config{Users: 500, Bots: 0, Cyborgs: 0, AvgFollows: 10, Groups: 4, Homophily: 0.9, Seed: 1})
+	low := buildNet(t, Config{Users: 500, Bots: 0, Cyborgs: 0, AvgFollows: 10, Groups: 4, Homophily: 0.1, Seed: 1})
+	hr, lr := high.HomophilyRatio(), low.HomophilyRatio()
+	if hr <= lr {
+		t.Fatalf("homophily ratios inverted: high=%.3f low=%.3f", hr, lr)
+	}
+	if hr < 0.7 {
+		t.Fatalf("high homophily ratio=%.3f", hr)
+	}
+}
+
+func TestNetworkDeterministicFromSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	a, b := buildNet(t, cfg), buildNet(t, cfg)
+	for i := 0; i < a.Size(); i++ {
+		fa, fb := a.Followers(i), b.Followers(i)
+		if len(fa) != len(fb) {
+			t.Fatalf("follower lists diverge at %d", i)
+		}
+		for j := range fa {
+			if fa[j] != fb[j] {
+				t.Fatalf("follower lists diverge at %d[%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestSpreadSeedValidation(t *testing.T) {
+	n := buildNet(t, DefaultConfig())
+	if _, err := n.Spread(ItemFactual, []int{-1}, DefaultSpreadParams(), 5, 1); !errors.Is(err, ErrBadSeedUsers) {
+		t.Fatalf("want ErrBadSeedUsers, got %v", err)
+	}
+	if _, err := n.Spread(ItemFactual, []int{n.Size()}, DefaultSpreadParams(), 5, 1); !errors.Is(err, ErrBadSeedUsers) {
+		t.Fatalf("want ErrBadSeedUsers, got %v", err)
+	}
+}
+
+func TestSpreadMonotoneTotals(t *testing.T) {
+	n := buildNet(t, DefaultConfig())
+	res, err := n.Spread(ItemFake, n.BotSeeds(5), DefaultSpreadParams(), 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, s := range res.Steps {
+		if s.Total < prev {
+			t.Fatalf("total decreased: %+v", res.Steps)
+		}
+		prev = s.Total
+	}
+	if res.Reached != prev {
+		t.Fatalf("reached=%d last total=%d", res.Reached, prev)
+	}
+	if res.Reached > n.Size() {
+		t.Fatal("reached more users than exist")
+	}
+}
+
+func TestFakeSpreadsFasterUnchecked(t *testing.T) {
+	// The stylized fact the paper opens with: without intervention, fake
+	// news out-propagates factual news from the same seeds.
+	n := buildNet(t, DefaultConfig())
+	p := DefaultSpreadParams() // FlagDelay=-1: no intervention
+	seeds := n.BotSeeds(5)
+	fake := avgReach(t, n, ItemFake, seeds, p, 10)
+	factual := avgReach(t, n, ItemFactual, seeds, p, 10)
+	if fake <= factual*1.3 {
+		t.Fatalf("fake reach %.1f not clearly above factual %.1f", fake, factual)
+	}
+}
+
+func TestFlaggingCutsFakeReach(t *testing.T) {
+	n := buildNet(t, DefaultConfig())
+	seeds := n.BotSeeds(5)
+	unflagged := DefaultSpreadParams()
+	flagged := DefaultSpreadParams()
+	flagged.FlagDelay = 2
+	without := avgReach(t, n, ItemFake, seeds, unflagged, 10)
+	with := avgReach(t, n, ItemFake, seeds, flagged, 10)
+	if with >= without*0.8 {
+		t.Fatalf("flagging ineffective: with=%.1f without=%.1f", with, without)
+	}
+}
+
+func TestEarlierFlaggingIsStronger(t *testing.T) {
+	n := buildNet(t, DefaultConfig())
+	seeds := n.BotSeeds(5)
+	reach := func(delay int) float64 {
+		p := DefaultSpreadParams()
+		p.FlagDelay = delay
+		return avgReach(t, n, ItemFake, seeds, p, 10)
+	}
+	early, late := reach(1), reach(6)
+	if early >= late {
+		t.Fatalf("early flag reach %.1f >= late %.1f", early, late)
+	}
+}
+
+func TestDemotionReducesSourceReach(t *testing.T) {
+	n := buildNet(t, DefaultConfig())
+	seeds := n.BotSeeds(5)
+	p := DefaultSpreadParams()
+	before := avgReach(t, n, ItemFake, seeds, p, 10)
+	for _, s := range seeds {
+		n.Demote(s)
+	}
+	after := avgReach(t, n, ItemFake, seeds, p, 10)
+	n.ResetDemotions()
+	if after >= before {
+		t.Fatalf("demotion ineffective: before=%.1f after=%.1f", before, after)
+	}
+	restored := avgReach(t, n, ItemFake, seeds, p, 10)
+	if restored < before*0.9 {
+		t.Fatalf("ResetDemotions did not restore reach: %.1f vs %.1f", restored, before)
+	}
+}
+
+func TestFactualOutpacesFakeWithIntervention(t *testing.T) {
+	// The paper's headline scenario (E7): with the platform flagging fake
+	// items early and demoting their sources, factual reporting reaches
+	// more users than the fake item.
+	n := buildNet(t, DefaultConfig())
+	fakeSeeds := n.BotSeeds(5)
+	factSeeds := n.RegularSeeds(5)
+
+	intervened := DefaultSpreadParams()
+	intervened.FlagDelay = 2
+	intervened.FactualBoost = 1.6 // trust label on verified content
+	for _, s := range fakeSeeds {
+		n.Demote(s)
+	}
+	fake := avgReach(t, n, ItemFake, fakeSeeds, intervened, 10)
+	factual := avgReach(t, n, ItemFactual, factSeeds, intervened, 10)
+	n.ResetDemotions()
+	if factual <= fake {
+		t.Fatalf("factual %.1f did not outpace flagged fake %.1f", factual, fake)
+	}
+}
+
+func TestSpreadDeterministicPerSeed(t *testing.T) {
+	n := buildNet(t, DefaultConfig())
+	a, _ := n.Spread(ItemFake, n.BotSeeds(3), DefaultSpreadParams(), 15, 42)
+	b, _ := n.Spread(ItemFake, n.BotSeeds(3), DefaultSpreadParams(), 15, 42)
+	if a.Reached != b.Reached || len(a.Steps) != len(b.Steps) {
+		t.Fatal("same rng seed must reproduce the cascade")
+	}
+}
+
+func TestBotSeedsAreBots(t *testing.T) {
+	n := buildNet(t, DefaultConfig())
+	for _, s := range n.BotSeeds(10) {
+		if n.UserAt(s).Kind != KindBot {
+			t.Fatalf("seed %d is %v", s, n.UserAt(s).Kind)
+		}
+	}
+	for _, s := range n.RegularSeeds(10) {
+		if n.UserAt(s).Kind != KindRegular {
+			t.Fatalf("seed %d is %v", s, n.UserAt(s).Kind)
+		}
+	}
+}
+
+// Property: a cascade's reach never exceeds network size and flagged runs
+// never beat unflagged runs by more than noise.
+func TestSpreadBoundsProperty(t *testing.T) {
+	n := buildNet(t, Config{Users: 200, Bots: 20, Cyborgs: 10, AvgFollows: 8, Groups: 3, Homophily: 0.7, Seed: 3})
+	f := func(rngSeed int64, nSeeds uint8) bool {
+		k := int(nSeeds)%5 + 1
+		res, err := n.Spread(ItemFake, n.BotSeeds(k), DefaultSpreadParams(), 20, rngSeed)
+		if err != nil {
+			return false
+		}
+		return res.Reached >= k && res.Reached <= n.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSpread(b *testing.B) {
+	n, err := NewNetwork(Config{Users: 5000, Bots: 300, Cyborgs: 200, AvgFollows: 15, Groups: 5, Homophily: 0.8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultSpreadParams()
+	seeds := n.BotSeeds(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Spread(ItemFake, seeds, p, 25, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

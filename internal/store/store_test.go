@@ -1,0 +1,358 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemLogAppendGet(t *testing.T) {
+	l := NewMemLog()
+	for i := 0; i < 10; i++ {
+		idx, err := l.Append([]byte("rec" + strconv.Itoa(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != uint64(i) {
+			t.Fatalf("idx=%d want %d", idx, i)
+		}
+	}
+	if l.Len() != 10 {
+		t.Fatalf("len=%d", l.Len())
+	}
+	got, err := l.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "rec7" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMemLogGetOutOfRange(t *testing.T) {
+	l := NewMemLog()
+	if _, err := l.Get(0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestMemLogCopiesOnAppend(t *testing.T) {
+	l := NewMemLog()
+	rec := []byte("original")
+	l.Append(rec)
+	rec[0] = 'X'
+	got, _ := l.Get(0)
+	if string(got) != "original" {
+		t.Fatal("Append must copy the record")
+	}
+}
+
+func TestMemKVBasic(t *testing.T) {
+	kv := NewMemKV()
+	if err := kv.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := kv.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "1" {
+		t.Fatalf("got %q", got)
+	}
+	if err := kv.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound after delete, got %v", err)
+	}
+}
+
+func TestMemKVKeysPrefix(t *testing.T) {
+	kv := NewMemKV()
+	for _, k := range []string{"news/1", "news/2", "fact/1", "news/10"} {
+		kv.Put(k, []byte("x"))
+	}
+	keys, err := kv.Keys("news/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"news/1", "news/10", "news/2"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys=%v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys=%v want %v", keys, want)
+		}
+	}
+}
+
+func TestMemKVSnapshotIsolated(t *testing.T) {
+	kv := NewMemKV()
+	kv.Put("k", []byte("v1"))
+	snap, err := kv.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv.Put("k", []byte("v2"))
+	if string(snap["k"]) != "v1" {
+		t.Fatal("snapshot must be isolated from later writes")
+	}
+	snap["k"][0] = 'X'
+	got, _ := kv.Get("k")
+	if string(got) != "v2" {
+		t.Fatal("mutating snapshot must not affect store")
+	}
+}
+
+func TestMemKVRestore(t *testing.T) {
+	kv := NewMemKV()
+	kv.Put("a", []byte("1"))
+	kv.Put("b", []byte("2"))
+	snap, _ := kv.Snapshot()
+	kv.Put("c", []byte("3"))
+	kv.Delete("a")
+	kv.Restore(snap)
+	if _, err := kv.Get("c"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("restore must drop later keys")
+	}
+	got, err := kv.Get("a")
+	if err != nil || string(got) != "1" {
+		t.Fatalf("restore lost key a: %v %q", err, got)
+	}
+}
+
+func TestFileLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := [][]byte{[]byte("block0"), []byte("block1"), bytes.Repeat([]byte("z"), 5000)}
+	for _, r := range recs {
+		if _, err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if l2.Len() != uint64(len(recs)) {
+		t.Fatalf("len=%d want %d", l2.Len(), len(recs))
+	}
+	for i, want := range recs {
+		got, err := l2.Get(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestFileLogTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("good"))
+	l.Append([]byte("also good"))
+	l.Close()
+
+	// Simulate a crash mid-write: append a partial frame.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 9, 1}) // header fragment
+	f.Close()
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer l2.Close()
+	if l2.Len() != 2 {
+		t.Fatalf("len=%d want 2", l2.Len())
+	}
+	// The log must still be appendable after truncation.
+	if _, err := l2.Append([]byte("recovered")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := l2.Get(2)
+	if string(got) != "recovered" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFileLogDetectsInteriorCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("record-zero"))
+	l.Append([]byte("record-one"))
+	l.Close()
+
+	// Flip a byte inside the first record's payload.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenFileLog(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestFileLogClosedErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("x"))
+	l.Close()
+	if _, err := l.Append([]byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := l.Get(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestFileLogEmptyReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != 0 {
+		t.Fatalf("len=%d", l2.Len())
+	}
+}
+
+// Property: a MemKV behaves like a plain map under an arbitrary sequence of
+// put/delete operations.
+func TestMemKVModelProperty(t *testing.T) {
+	type op struct {
+		Key    string
+		Val    []byte
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		kv := NewMemKV()
+		model := make(map[string]string)
+		for _, o := range ops {
+			if o.Delete {
+				kv.Delete(o.Key)
+				delete(model, o.Key)
+				continue
+			}
+			kv.Put(o.Key, o.Val)
+			model[o.Key] = string(o.Val)
+		}
+		snap, err := kv.Snapshot()
+		if err != nil {
+			return false
+		}
+		if len(snap) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if string(snap[k]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: file log round-trips arbitrary record sequences.
+func TestFileLogRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	f := func(recs [][]byte) bool {
+		n++
+		path := filepath.Join(dir, "log"+strconv.Itoa(n))
+		l, err := OpenFileLog(path)
+		if err != nil {
+			return false
+		}
+		for _, r := range recs {
+			if _, err := l.Append(r); err != nil {
+				return false
+			}
+		}
+		l.Close()
+		l2, err := OpenFileLog(path)
+		if err != nil {
+			return false
+		}
+		defer l2.Close()
+		if l2.Len() != uint64(len(recs)) {
+			return false
+		}
+		for i, want := range recs {
+			got, err := l2.Get(uint64(i))
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMemLogAppend(b *testing.B) {
+	l := NewMemLog()
+	rec := bytes.Repeat([]byte("t"), 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Append(rec)
+	}
+}
+
+func BenchmarkMemKVPutGet(b *testing.B) {
+	kv := NewMemKV()
+	val := bytes.Repeat([]byte("v"), 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := "key" + strconv.Itoa(i%1024)
+		kv.Put(k, val)
+		kv.Get(k)
+	}
+}

@@ -1,0 +1,24 @@
+# Developer entry points. `make tier1` is the gate every change must pass:
+# full build, vet, and the race-enabled test suite.
+
+GO ?= go
+
+.PHONY: tier1 build vet test race bench-reopen
+
+tier1: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Reopen cost: full replay vs checkpoint restore (EXPERIMENTS.md E15b).
+bench-reopen:
+	$(GO) test -run NONE -bench 'BenchmarkOpen(Replay|Checkpoint)' -benchtime 5x .

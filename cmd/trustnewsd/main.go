@@ -1,12 +1,17 @@
 // Command trustnewsd serves a trusting-news platform node over JSON/HTTP.
 // It boots a standalone node, trains the AI component, optionally seeds a
-// demo factual database, and listens.
+// demo factual database, and listens. With -data the chain is persisted
+// to a write-ahead log and the node checkpoints its derived state
+// periodically, so restarts replay only the WAL tail above the last
+// checkpoint instead of the whole chain.
 //
 //	go run ./cmd/trustnewsd -addr :8080 -seed-demo
+//	go run ./cmd/trustnewsd -data /var/lib/trustnews -checkpoint-interval 5m
 //
 // Then, for example:
 //
 //	curl localhost:8080/v1/chain
+//	curl localhost:8080/v1/commitbus
 //	curl localhost:8080/v1/facts
 //	curl localhost:8080/v1/experts?topic=politics
 package main
@@ -29,24 +34,46 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seedDemo := flag.Bool("seed-demo", false, "seed a demo factual database")
 	corpusSeed := flag.Int64("corpus-seed", 1, "training corpus seed")
+	dataDir := flag.String("data", "", "durable data directory (empty = in-memory node)")
+	ckptEvery := flag.Duration("checkpoint-interval", 5*time.Minute, "how often a durable node checkpoints derived state (0 disables)")
 	flag.Parse()
-	if err := run(*addr, *seedDemo, *corpusSeed); err != nil {
+	if err := run(*addr, *seedDemo, *corpusSeed, *dataDir, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "trustnewsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seedDemo bool, corpusSeed int64) error {
-	p, err := platform.New(platform.DefaultConfig())
-	if err != nil {
-		return err
+func run(addr string, seedDemo bool, corpusSeed int64, dataDir string, ckptEvery time.Duration) error {
+	var (
+		p   *platform.Platform
+		err error
+	)
+	if dataDir != "" {
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return err
+		}
+		var closeFn func() error
+		p, closeFn, err = platform.Open(dataDir, platform.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		defer closeFn()
+		log.Printf("durable node at %s: height %d, checkpoint height %d", dataDir, p.Chain().Height(), p.CheckpointHeight())
+		if ckptEvery > 0 {
+			go checkpointLoop(p, ckptEvery)
+		}
+	} else {
+		p, err = platform.New(platform.DefaultConfig())
+		if err != nil {
+			return err
+		}
 	}
 	p.SetClock(time.Now) // live deployment: real block timestamps
 	gen := corpus.NewGenerator(corpusSeed)
 	if err := p.TrainClassifier(aidetect.NewLogisticRegression(), gen.Generate(500, 500).Statements); err != nil {
 		return err
 	}
-	if seedDemo {
+	if seedDemo && p.FactIndex().Len() == 0 {
 		for i := 0; i < 25; i++ {
 			s := gen.Factual()
 			if err := p.SeedFact(s.ID, s.Topic, s.Text); err != nil {
@@ -62,4 +89,22 @@ func run(addr string, seedDemo bool, corpusSeed int64) error {
 	}
 	log.Printf("trustnewsd listening on %s (authority %s)", addr, p.Authority().Short())
 	return srv.ListenAndServe()
+}
+
+// checkpointLoop periodically snapshots the node's derived state so the
+// next restart replays only the WAL tail. Checkpoints that would not
+// advance (no new blocks) are skipped.
+func checkpointLoop(p *platform.Platform, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for range ticker.C {
+		if p.Chain().Height() == p.CheckpointHeight() {
+			continue
+		}
+		if err := p.WriteCheckpoint(); err != nil {
+			log.Printf("checkpoint: %v", err)
+			continue
+		}
+		log.Printf("checkpoint written at height %d", p.CheckpointHeight())
+	}
 }

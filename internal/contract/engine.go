@@ -119,6 +119,20 @@ func (e *Engine) Register(c Contract) error {
 // must not mutate through it outside Execute.
 func (e *Engine) State() store.KV { return e.state }
 
+// StateSnapshot returns a deep copy of the committed contract state, the
+// engine's contribution to a durable-node checkpoint.
+func (e *Engine) StateSnapshot() (map[string][]byte, error) {
+	return e.state.Snapshot()
+}
+
+// RestoreState replaces the committed contract state with a snapshot
+// (checkpoint restore; the caller re-verifies the state root afterward).
+func (e *Engine) RestoreState(snap map[string][]byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.state.Restore(snap)
+}
+
 // StateRoot computes a Merkle root over the committed state (sorted
 // key/value leaves). It is the block header's StateRoot.
 func (e *Engine) StateRoot() (merkle.Hash, error) {

@@ -295,6 +295,28 @@ func (ix *Index) Add(f Fact) {
 	ix.acc.Add([]byte(key))
 }
 
+// Facts returns the indexed facts in insertion order (the checkpoint
+// snapshot format: re-adding them in order reproduces the accumulator).
+func (ix *Index) Facts() []Fact {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return append([]Fact(nil), ix.facts...)
+}
+
+// Reset replaces the index contents with the given facts, added in order.
+func (ix *Index) Reset(facts []Fact) {
+	ix.mu.Lock()
+	ix.facts = nil
+	ix.inverted = make(map[string][]int)
+	ix.tokens = nil
+	ix.acc = merkle.NewAccumulator()
+	ix.seen = make(map[string]bool)
+	ix.mu.Unlock()
+	for _, f := range facts {
+		ix.Add(f)
+	}
+}
+
 // Rebuild loads every fact from the engine into a fresh index.
 func Rebuild(e *contract.Engine, asker keys.Address) (*Index, error) {
 	facts, err := List(e, asker)

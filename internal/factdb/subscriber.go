@@ -1,0 +1,64 @@
+package factdb
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/commitbus"
+)
+
+// SubscriberName identifies the fact-index subscriber on the commit bus
+// and keys its blob inside durable checkpoints.
+const SubscriberName = "factdb-index"
+
+// IndexSubscriber keeps a similarity Index in sync with the chain by
+// consuming fact_added events from committed blocks. It replaces the
+// platform's former inline indexing, so every commit path — standalone
+// mining, external consensus, WAL replay — feeds the index identically.
+type IndexSubscriber struct {
+	Index *Index
+}
+
+var _ commitbus.Subscriber = (*IndexSubscriber)(nil)
+
+// Name implements commitbus.Subscriber.
+func (s *IndexSubscriber) Name() string { return SubscriberName }
+
+// OnCommit implements commitbus.Subscriber: it adds every fact admitted
+// in the block (seeded or promoted) to the similarity index.
+func (s *IndexSubscriber) OnCommit(ev commitbus.CommitEvent) error {
+	for _, rec := range ev.Receipts {
+		if !rec.OK {
+			continue
+		}
+		for _, e := range rec.Events {
+			if e.Contract != ContractName || e.Type != "fact_added" {
+				continue
+			}
+			var f Fact
+			if err := json.Unmarshal(rec.Result, &f); err != nil {
+				return fmt.Errorf("factdb: decode fact_added result: %w", err)
+			}
+			s.Index.Add(f)
+		}
+	}
+	return nil
+}
+
+// Snapshot implements commitbus.Subscriber: the facts in insertion order
+// (which fixes the Merkle accumulator root on restore).
+func (s *IndexSubscriber) Snapshot() ([]byte, error) {
+	return json.Marshal(s.Index.Facts())
+}
+
+// Restore implements commitbus.Subscriber.
+func (s *IndexSubscriber) Restore(data []byte) error {
+	var facts []Fact
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &facts); err != nil {
+			return fmt.Errorf("factdb: decode index snapshot: %w", err)
+		}
+	}
+	s.Index.Reset(facts)
+	return nil
+}

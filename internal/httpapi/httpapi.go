@@ -9,7 +9,8 @@
 // from the node's indexes. Endpoints:
 //
 //	POST /v1/tx                submit a signed, hex-encoded transaction
-//	GET  /v1/chain             chain head summary
+//	GET  /v1/chain             chain head summary (incl. checkpoint height)
+//	GET  /v1/commitbus         commit-bus subscriber stats (lag, errors)
 //	GET  /v1/items/{id}        one news item
 //	GET  /v1/items/{id}/rank   combined ranking with component breakdown
 //	GET  /v1/items/{id}/trace  supply-chain trace
@@ -56,6 +57,7 @@ func New(p *platform.Platform, autoCommit bool) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tx", s.handleSubmitTx)
 	mux.HandleFunc("GET /v1/chain", s.handleChain)
+	mux.HandleFunc("GET /v1/commitbus", s.handleCommitBus)
 	mux.HandleFunc("GET /v1/items/{id}", s.handleItem)
 	mux.HandleFunc("GET /v1/items/{id}/rank", s.handleRank)
 	mux.HandleFunc("GET /v1/items/{id}/trace", s.handleTrace)
@@ -147,16 +149,27 @@ type chainResponse struct {
 	Items    int    `json:"items"`
 	Facts    int    `json:"facts"`
 	FactRoot string `json:"factRoot"`
+	// CheckpointHeight is the chain height covered by the node's latest
+	// written or restored checkpoint (0 when none exists).
+	CheckpointHeight uint64 `json:"checkpointHeight"`
 }
 
 func (s *Server) handleChain(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, chainResponse{
-		Height:   s.p.Chain().Height(),
-		HeadID:   s.p.Chain().HeadID().String(),
-		Items:    s.p.Graph().Len(),
-		Facts:    s.p.FactIndex().Len(),
-		FactRoot: s.p.FactIndex().Root().String(),
+		Height:           s.p.Chain().Height(),
+		HeadID:           s.p.Chain().HeadID().String(),
+		Items:            s.p.Graph().Len(),
+		Facts:            s.p.FactIndex().Len(),
+		FactRoot:         s.p.FactIndex().Root().String(),
+		CheckpointHeight: s.p.CheckpointHeight(),
 	})
+}
+
+// handleCommitBus reports per-subscriber delivery accounting from the
+// commit bus: a nonzero Lag or Errors means a derived index missed
+// events and the operator should investigate (or re-open from replay).
+func (s *Server) handleCommitBus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.BusStats())
 }
 
 func (s *Server) handleItem(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/aidetect"
+	"repro/internal/commitbus"
 	"repro/internal/corpus"
 	"repro/internal/keys"
 	"repro/internal/ledger"
@@ -317,5 +318,69 @@ func TestProofEndpointVerifiesWithLightClient(t *testing.T) {
 	unknown := ledger.TxID{0xaa}
 	if code := f.get("/v1/proofs/"+unknown.String(), nil); code != http.StatusNotFound {
 		t.Fatalf("unknown id status=%d", code)
+	}
+}
+
+func TestCommitBusEndpoint(t *testing.T) {
+	f := newFixture(t)
+	alice := keys.FromSeed([]byte("alice"))
+	payload, _ := supplychain.PublishPayload("n1", corpus.TopicPolitics, factText, nil, "")
+	f.submit(alice, "news.publish", payload)
+
+	var stats []commitbus.SubscriberStats
+	if code := f.get("/v1/commitbus", &stats); code != http.StatusOK {
+		t.Fatalf("status=%d", code)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no subscribers reported")
+	}
+	for _, s := range stats {
+		if s.Name == "" {
+			t.Fatalf("unnamed subscriber: %+v", s)
+		}
+		if s.Delivered == 0 || s.Lag != 0 || s.Errors != 0 {
+			t.Fatalf("subscriber %s out of sync: %+v", s.Name, s)
+		}
+	}
+}
+
+func TestChainEndpointReportsCheckpointHeight(t *testing.T) {
+	p, closeFn, err := platform.Open(t.TempDir(), platform.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	if err := p.SeedFact("f1", corpus.TopicPolitics, factText); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(p, true))
+	defer srv.Close()
+
+	var ch chainResponse
+	resp, err := http.Get(srv.URL + "/v1/chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ch.CheckpointHeight != 0 {
+		t.Fatalf("fresh node checkpointHeight=%d", ch.CheckpointHeight)
+	}
+
+	if err := p.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/v1/chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ch.CheckpointHeight == 0 || ch.CheckpointHeight != ch.Height {
+		t.Fatalf("checkpointHeight=%d height=%d", ch.CheckpointHeight, ch.Height)
 	}
 }

@@ -1,6 +1,8 @@
 package ledger
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"sync"
@@ -215,6 +217,136 @@ func (c *Chain) FindTx(id TxID) (*Tx, TxLocation, error) {
 		return nil, TxLocation{}, err
 	}
 	return b.Txs[loc.Index], loc, nil
+}
+
+// ---------------------------------------------------------------------------
+// Chain index snapshots (durable-node checkpoints).
+// ---------------------------------------------------------------------------
+
+// ErrBadSnapshot indicates a chain snapshot that does not match the log.
+var ErrBadSnapshot = errors.New("ledger: chain snapshot does not match log")
+
+// chainSnapshot serializes the chain's derived indexes. Blocks are
+// height-ordered ids; transaction locations reference heights, so the
+// whole structure is reproducible from (and verifiable against) the log.
+type chainSnapshot struct {
+	Height   uint64
+	BlockIDs []BlockID
+	Txs      []txRef
+	Nonces   map[string]uint64
+}
+
+// txRef is one committed transaction location.
+type txRef struct {
+	ID     TxID
+	Height uint64
+	Index  int
+}
+
+// SnapshotState serializes the chain's in-memory indexes (block ids,
+// transaction locations, per-sender nonces) so a durable node can
+// checkpoint them and reopen without re-decoding and re-validating every
+// block.
+func (c *Chain) SnapshotState() ([]byte, error) {
+	c.mu.RLock()
+	snap := chainSnapshot{Nonces: make(map[string]uint64, len(c.nonces))}
+	if c.head != nil {
+		snap.Height = c.head.Header.Height + 1
+	}
+	snap.BlockIDs = make([]BlockID, snap.Height)
+	for id, h := range c.byID {
+		snap.BlockIDs[h] = id
+	}
+	snap.Txs = make([]txRef, 0, len(c.txIndex))
+	for id, loc := range c.txIndex {
+		snap.Txs = append(snap.Txs, txRef{ID: id, Height: loc.Height, Index: loc.Index})
+	}
+	for k, v := range c.nonces {
+		snap.Nonces[k] = v
+	}
+	c.mu.RUnlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("ledger: encode chain snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// NewChainFromSnapshot reopens a chain over a log using checkpointed
+// indexes for the snapshot's prefix: only the head block of the prefix is
+// decoded (and its id checked against the snapshot), then any newer log
+// records — the WAL tail — are fully decoded, validated and indexed as
+// usual. This makes reopen O(tail) instead of O(chain length).
+//
+// The snapshot is an accelerator, not a trust root: any mismatch returns
+// ErrBadSnapshot and the caller should fall back to NewChain, which
+// re-validates everything.
+func NewChainFromSnapshot(log store.Log, snapshot []byte) (*Chain, error) {
+	var snap chainSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrBadSnapshot, err)
+	}
+	n := log.Len()
+	if snap.Height > n {
+		return nil, fmt.Errorf("%w: snapshot height %d beyond log %d", ErrBadSnapshot, snap.Height, n)
+	}
+	if uint64(len(snap.BlockIDs)) != snap.Height {
+		return nil, fmt.Errorf("%w: %d block ids for height %d", ErrBadSnapshot, len(snap.BlockIDs), snap.Height)
+	}
+	c := &Chain{
+		log:     log,
+		byID:    make(map[BlockID]uint64, snap.Height),
+		txIndex: make(map[TxID]TxLocation, len(snap.Txs)),
+		nonces:  make(map[string]uint64, len(snap.Nonces)),
+	}
+	for h, id := range snap.BlockIDs {
+		c.byID[id] = uint64(h)
+	}
+	for _, ref := range snap.Txs {
+		if ref.Height >= snap.Height {
+			return nil, fmt.Errorf("%w: tx at height %d beyond snapshot", ErrBadSnapshot, ref.Height)
+		}
+		c.txIndex[ref.ID] = TxLocation{Height: ref.Height, Index: ref.Index, BlockID: snap.BlockIDs[ref.Height]}
+	}
+	for k, v := range snap.Nonces {
+		c.nonces[k] = v
+	}
+	// Anchor the prefix: the head block must decode and hash to the
+	// snapshot's id at that height (the platform additionally verifies
+	// the checkpointed state root against this block's header).
+	if snap.Height > 0 {
+		raw, err := log.Get(snap.Height - 1)
+		if err != nil {
+			return nil, fmt.Errorf("%w: head record: %v", ErrBadSnapshot, err)
+		}
+		head, err := DecodeBlock(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: head decode: %v", ErrBadSnapshot, err)
+		}
+		if head.Header.Height != snap.Height-1 || head.ID() != snap.BlockIDs[snap.Height-1] {
+			return nil, fmt.Errorf("%w: head id mismatch at height %d", ErrBadSnapshot, snap.Height-1)
+		}
+		c.head = head
+	}
+	// The WAL tail gets the full treatment.
+	for i := snap.Height; i < n; i++ {
+		raw, err := log.Get(i)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
+		}
+		b, err := DecodeBlock(raw)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
+		}
+		if err := c.validateLinkage(b); err != nil {
+			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
+		}
+		if err := b.ValidateBody(); err != nil {
+			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
+		}
+		c.index(b)
+	}
+	return c, nil
 }
 
 // Walk iterates committed blocks from height from (inclusive) upward,

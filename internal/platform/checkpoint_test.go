@@ -1,0 +1,304 @@
+package platform
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/ledger"
+	"repro/internal/ranking"
+)
+
+// runWorkload drives a varied block sequence: seeded facts, published
+// items, relays, mints and votes, so every derived index (fact index,
+// graph, expert miner, receipts, balances) has state worth snapshotting.
+func runWorkload(t *testing.T, p *Platform, rounds int) {
+	t.Helper()
+	if err := p.SeedFact("fact-0", corpus.TopicPolitics, factText); err != nil {
+		t.Fatal(err)
+	}
+	voter := p.NewActor("workload-voter")
+	if err := p.MintTo(voter.Address(), 10_000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rounds; i++ {
+		author := p.NewActor("author-" + strconv.Itoa(i%3))
+		id := "item-" + strconv.Itoa(i)
+		if err := author.PublishNews(id, corpus.TopicPolitics, factText+" issue "+strconv.Itoa(i), nil, ""); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := author.Relay("relay-"+strconv.Itoa(i), id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%3 == 0 {
+			if err := voter.Vote(id, true, 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// assertSameDerivedState compares every externally observable piece of
+// derived state between two nodes that claim to represent the same chain.
+func assertSameDerivedState(t *testing.T, a, b *Platform) {
+	t.Helper()
+	if ha, hb := a.Chain().Height(), b.Chain().Height(); ha != hb {
+		t.Fatalf("height %d != %d", ha, hb)
+	}
+	if ia, ib := a.Chain().HeadID(), b.Chain().HeadID(); ia != ib {
+		t.Fatalf("head id %s != %s", ia, ib)
+	}
+	ra, err := a.Engine().StateRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Engine().StateRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb {
+		t.Fatalf("state root %s != %s", ra, rb)
+	}
+	if la, lb := a.FactIndex().Len(), b.FactIndex().Len(); la != lb {
+		t.Fatalf("fact index %d != %d", la, lb)
+	}
+	if fa, fb := a.FactIndex().Root(), b.FactIndex().Root(); fa != fb {
+		t.Fatalf("fact accumulator root %s != %s", fa, fb)
+	}
+	if sa, sb := a.Graph().Stats(), b.Graph().Stats(); sa != sb {
+		t.Fatalf("graph stats %+v != %+v", sa, sb)
+	}
+	if ta, tb := len(a.ExpertMiner().Topics()), len(b.ExpertMiner().Topics()); ta != tb {
+		t.Fatalf("miner topics %d != %d", ta, tb)
+	}
+	for _, topic := range a.ExpertMiner().Topics() {
+		ia, ib := a.ExpertMiner().TopicItems(topic), b.ExpertMiner().TopicItems(topic)
+		if len(ia) != len(ib) {
+			t.Fatalf("miner items for %s: %d != %d", topic, len(ia), len(ib))
+		}
+	}
+	// Every committed tx must resolve to the same receipt on both nodes.
+	if err := a.Chain().Walk(0, func(blk *ledger.Block) bool {
+		for _, tx := range blk.Txs {
+			recA, okA := a.Receipt(tx.ID())
+			recB, okB := b.Receipt(tx.ID())
+			if okA != okB || recA.OK != recB.OK || recA.GasUsed != recB.GasUsed {
+				t.Fatalf("receipt mismatch for %s: %+v/%v vs %+v/%v", tx.ID(), recA, okA, recB, okB)
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenCheckpointMatchesFullReplay(t *testing.T) {
+	dir := t.TempDir()
+	p, closeFn, err := Open(dir, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, p, 24)
+	if err := p.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ckptHeight := p.CheckpointHeight()
+	if ckptHeight == 0 || ckptHeight != p.Chain().Height() {
+		t.Fatalf("checkpoint height %d, chain %d", ckptHeight, p.Chain().Height())
+	}
+	// Keep committing past the checkpoint so reopen exercises tail replay.
+	tail := p.NewActor("late-author")
+	for i := 0; i < 5; i++ {
+		if err := tail.PublishNews("late-"+strconv.Itoa(i), corpus.TopicHealth, "late statement "+strconv.Itoa(i), nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	voterAddr := p.NewActor("workload-voter").Address()
+	wantBal, err := ranking.Balance(p.Engine(), p.Authority(), voterAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen via the checkpoint fast path.
+	fast, closeFast, err := Open(dir, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFast()
+	if fast.CheckpointHeight() != ckptHeight {
+		t.Fatalf("fast open checkpoint height %d want %d (restore path not taken)", fast.CheckpointHeight(), ckptHeight)
+	}
+
+	// Reopen via full replay with the checkpoint out of the way.
+	if err := os.Rename(filepath.Join(dir, checkpointName), filepath.Join(dir, "ckpt.aside")); err != nil {
+		t.Fatal(err)
+	}
+	full, closeFull, err := Open(dir, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFull()
+	if full.CheckpointHeight() != 0 {
+		t.Fatalf("full replay open reports checkpoint height %d", full.CheckpointHeight())
+	}
+
+	assertSameDerivedState(t, fast, full)
+	gotBal, err := ranking.Balance(fast.Engine(), fast.Authority(), voterAddr)
+	if err != nil || gotBal != wantBal {
+		t.Fatalf("balance after fast open %d want %d (err=%v)", gotBal, wantBal, err)
+	}
+	// The restored node must keep working: commit one more block on each
+	// and verify they stay identical.
+	for _, node := range []*Platform{fast, full} {
+		a := node.NewActor("post-open")
+		if err := a.PublishNews("post-open-item", corpus.TopicScience, "post reopen statement", nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSameDerivedState(t, fast, full)
+}
+
+func TestOpenFallsBackOnCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	p, closeFn, err := Open(dir, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, p, 8)
+	if err := p.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	height := p.Chain().Height()
+	root, err := p.Engine().StateRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeFn()
+
+	path := filepath.Join(dir, checkpointName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, close2, err := Open(dir, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close2()
+	if p2.CheckpointHeight() != 0 {
+		t.Fatalf("corrupt checkpoint restored (height %d)", p2.CheckpointHeight())
+	}
+	if p2.Chain().Height() != height {
+		t.Fatalf("height %d want %d", p2.Chain().Height(), height)
+	}
+	root2, err := p2.Engine().StateRoot()
+	if err != nil || root2 != root {
+		t.Fatalf("state root %s want %s (err=%v)", root2, root, err)
+	}
+}
+
+func TestOpenRecoversFromTornLogTail(t *testing.T) {
+	dir := t.TempDir()
+	p, closeFn, err := Open(dir, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, p, 6)
+	height := p.Chain().Height()
+	prevID, err := p.Chain().BlockAt(height - 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeFn()
+
+	// Simulate a crash mid-append: chop bytes off the final record so its
+	// frame is incomplete.
+	path := filepath.Join(dir, chainLogName)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, close2, err := Open(dir, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Chain().Height() != height-1 {
+		t.Fatalf("recovered height %d want %d", p2.Chain().Height(), height-1)
+	}
+	if p2.Chain().HeadID() != prevID.ID() {
+		t.Fatalf("recovered head %s want %s", p2.Chain().HeadID(), prevID.ID())
+	}
+	// The node keeps accepting commits after recovery.
+	a := p2.NewActor("after-crash")
+	if err := a.PublishNews("after-crash-item", corpus.TopicPolitics, "post crash statement", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Chain().Height() != height {
+		t.Fatalf("post-recovery height %d want %d", p2.Chain().Height(), height)
+	}
+	close2()
+}
+
+func TestOpenFallsBackWhenCheckpointBeyondLog(t *testing.T) {
+	dir := t.TempDir()
+	p, closeFn, err := Open(dir, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, p, 6)
+	// Checkpoint covers the full chain, then the last block is torn away:
+	// the checkpoint now claims a height the log cannot back.
+	if err := p.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	height := p.Chain().Height()
+	closeFn()
+
+	path := filepath.Join(dir, chainLogName)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, close2, err := Open(dir, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close2()
+	if p2.CheckpointHeight() != 0 {
+		t.Fatalf("stale checkpoint restored (height %d)", p2.CheckpointHeight())
+	}
+	if p2.Chain().Height() != height-1 {
+		t.Fatalf("recovered height %d want %d", p2.Chain().Height(), height-1)
+	}
+	root, err := p2.Engine().StateRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := p2.Chain().BlockAt(height - 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != head.Header.StateRoot {
+		t.Fatal("recovered state root does not match surviving head block")
+	}
+}

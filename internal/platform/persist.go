@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 
@@ -9,45 +10,198 @@ import (
 )
 
 // Durable deployment: a platform whose chain is backed by the
-// write-ahead-logged file store, with full state reconstruction on
-// restart. Contract state and the derived indexes (factual database,
-// supply-chain graph) are not persisted separately — they are a pure
-// function of the block sequence, so Open replays every block through the
-// contract engine, which also re-verifies the chain's integrity (a
-// tampered block file fails CRC or re-validation).
+// write-ahead-logged file store. Contract state and the derived indexes
+// (factual database, supply-chain graph, expert miner, receipts) are a
+// pure function of the block sequence, delivered through the commit bus.
+// Reopen therefore has two paths:
+//
+//   - checkpoint restore: load the latest CRC-guarded checkpoint, hand
+//     each commit-bus subscriber its snapshot blob, verify the restored
+//     contract state against the block header's state root, and replay
+//     only the WAL tail above the checkpoint height — O(tail) instead of
+//     O(chain length);
+//   - full replay: execute every block through the contract engine (the
+//     original behaviour), used when no checkpoint exists or the
+//     checkpoint fails any verification step. Replay also re-verifies the
+//     chain's integrity (a tampered block file fails CRC or
+//     re-validation), so the checkpoint never weakens tamper evidence.
+
+// Durable file names inside the data directory.
+const (
+	chainLogName   = "chain.log"
+	checkpointName = "checkpoint.ckpt"
+)
+
+// ErrNotDurable indicates a checkpoint operation on an in-memory node.
+var ErrNotDurable = errors.New("platform: node has no data directory")
 
 // Open creates or reopens a durable platform at dir. The chain log lives
-// in dir/chain.log. The returned close function releases the log file.
+// in dir/chain.log and checkpoints in dir/checkpoint.ckpt. The returned
+// close function releases the log file.
+//
+// When a valid checkpoint is present the chain itself reopens from the
+// checkpointed index snapshot — only the WAL tail above the checkpoint
+// height is decoded and re-validated — and the derived indexes restore
+// from their snapshot blobs. Any verification failure along that path
+// discards the partial state and falls back to the original full-replay
+// open, so a bad checkpoint can delay a restart but never corrupt one.
 func Open(dir string, cfg Config) (*Platform, func() error, error) {
-	p, err := New(cfg)
+	log, err := store.OpenFileLog(filepath.Join(dir, chainLogName))
 	if err != nil {
 		return nil, nil, err
 	}
-	log, err := store.OpenFileLog(filepath.Join(dir, "chain.log"))
-	if err != nil {
-		return nil, nil, err
+	if cp, err := store.ReadCheckpoint(filepath.Join(dir, checkpointName)); err == nil {
+		if p, err := openFromCheckpoint(dir, cfg, log, cp); err == nil {
+			return p, log.Close, nil
+		}
 	}
+
+	// Full replay: decode, validate and re-execute every block.
 	chain, err := ledger.NewChain(log)
 	if err != nil {
 		log.Close()
 		return nil, nil, fmt.Errorf("platform: reopen chain: %w", err)
 	}
-	p.mu.Lock()
-	p.chain = chain
-	p.pool = ledger.NewMempool(chain, 1<<16)
-	p.mu.Unlock()
-
-	// Replay committed blocks through the engine to rebuild contract
-	// state and the derived indexes.
-	if err := chain.Walk(0, func(b *ledger.Block) bool {
-		p.mu.Lock()
-		recs := p.engine.ExecuteBlock(b)
-		p.indexReceipts(b.Txs, recs)
-		p.mu.Unlock()
-		return true
-	}); err != nil {
+	p, err := newDurable(dir, cfg, chain)
+	if err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+	if err := p.replayFrom(0); err != nil {
 		log.Close()
 		return nil, nil, fmt.Errorf("platform: replay: %w", err)
 	}
 	return p, log.Close, nil
+}
+
+// openFromCheckpoint attempts the fast reopen path: rebuild the chain
+// from the checkpoint's index snapshot (validating only the WAL tail),
+// restore every subscriber blob, verify the restored contract state
+// against both the checkpoint hash and the committed block header, then
+// replay just the tail. Any error means the caller must fall back to the
+// full-replay path; nothing here mutates the log.
+func openFromCheckpoint(dir string, cfg Config, log *store.FileLog, cp *store.Checkpoint) (*Platform, error) {
+	chain, err := ledger.NewChainFromSnapshot(log, cp.Chain)
+	if err != nil {
+		return nil, err
+	}
+	p, err := newDurable(dir, cfg, chain)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.restoreCheckpoint(cp); err != nil {
+		return nil, err
+	}
+	if err := p.replayFrom(cp.Height); err != nil {
+		return nil, fmt.Errorf("platform: replay tail: %w", err)
+	}
+	return p, nil
+}
+
+// newDurable builds a fresh platform bound to the durable chain.
+func newDurable(dir string, cfg Config, chain *ledger.Chain) (*Platform, error) {
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.chain = chain
+	p.pool = ledger.NewMempool(chain, p.cfg.MempoolCapacity)
+	p.dir = dir
+	p.mu.Unlock()
+	return p, nil
+}
+
+// restoreCheckpoint verifies a checkpoint against the reopened chain and
+// hands every commit-bus subscriber its snapshot. Any failure returns an
+// error with the platform in an undefined derived state — the caller
+// must discard it and fall back to full replay.
+func (p *Platform) restoreCheckpoint(cp *store.Checkpoint) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cp.Height > p.chain.Height() {
+		return fmt.Errorf("platform: checkpoint height %d beyond chain height %d", cp.Height, p.chain.Height())
+	}
+	var wantRoot string
+	if cp.Height > 0 {
+		blk, err := p.chain.BlockAt(cp.Height - 1)
+		if err != nil {
+			return fmt.Errorf("platform: checkpoint head: %w", err)
+		}
+		if got := blk.ID().String(); got != cp.HeadID {
+			return fmt.Errorf("platform: checkpoint head id %s does not match chain %s", cp.HeadID, got)
+		}
+		wantRoot = blk.Header.StateRoot.String()
+	}
+	if err := p.bus.Restore(cp.Subscribers, cp.Height); err != nil {
+		return err
+	}
+	// The restored contract state must hash to both the checkpoint's
+	// recorded root and the root committed in the block header at the
+	// checkpoint height — the same double-entry the full replay enforces.
+	root, err := p.engine.StateRoot()
+	if err != nil {
+		return fmt.Errorf("platform: restored state root: %w", err)
+	}
+	if root.String() != cp.StateHash {
+		return fmt.Errorf("platform: restored state root %s does not match checkpoint %s", root.String(), cp.StateHash)
+	}
+	if cp.Height > 0 && root.String() != wantRoot {
+		return fmt.Errorf("platform: restored state root %s does not match block header %s", root.String(), wantRoot)
+	}
+	p.ckptHeight = cp.Height
+	return nil
+}
+
+// replayFrom re-executes committed blocks from the given height upward,
+// feeding each through the commit bus exactly like a live commit.
+func (p *Platform) replayFrom(from uint64) error {
+	return p.chain.Walk(from, func(b *ledger.Block) bool {
+		p.mu.Lock()
+		recs := p.engine.ExecuteBlock(b)
+		p.publishLocked(b, recs)
+		p.mu.Unlock()
+		return true
+	})
+}
+
+// WriteCheckpoint snapshots the node's derived state — contract state,
+// receipts, fact index, supply-chain graph, expert miner — into
+// dir/checkpoint.ckpt, atomically replacing any previous checkpoint.
+// Subsequent Opens restore it and replay only the newer WAL tail.
+func (p *Platform) WriteCheckpoint() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dir == "" {
+		return ErrNotDurable
+	}
+	height := p.chain.Height()
+	var headID string
+	if height > 0 {
+		headID = p.chain.HeadID().String()
+	}
+	root, err := p.engine.StateRoot()
+	if err != nil {
+		return fmt.Errorf("platform: checkpoint state root: %w", err)
+	}
+	blobs, err := p.bus.Snapshot()
+	if err != nil {
+		return err
+	}
+	chainSnap, err := p.chain.SnapshotState()
+	if err != nil {
+		return err
+	}
+	cp := &store.Checkpoint{
+		Height:      height,
+		HeadID:      headID,
+		StateHash:   root.String(),
+		Chain:       chainSnap,
+		Subscribers: blobs,
+	}
+	if err := store.WriteCheckpoint(filepath.Join(p.dir, checkpointName), cp); err != nil {
+		return err
+	}
+	p.ckptHeight = height
+	return nil
 }

@@ -12,13 +12,13 @@
 package platform
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/aidetect"
+	"repro/internal/commitbus"
 	"repro/internal/contract"
 	"repro/internal/corpus"
 	"repro/internal/evidence"
@@ -47,6 +47,10 @@ type Config struct {
 	PromoteThreshold float64
 	// MaxTxsPerBlock bounds standalone block size (default 512).
 	MaxTxsPerBlock int
+	// MempoolCapacity bounds the pending-transaction pool. Zero derives a
+	// default scaled to MaxTxsPerBlock (at least 128 blocks' worth, never
+	// below 65536).
+	MempoolCapacity int
 	// ParallelExec uses the optimistic parallel executor for blocks.
 	ParallelExec bool
 	// Weights tunes the combined ranking mechanism.
@@ -54,6 +58,16 @@ type Config struct {
 	// CreatorReward is minted to an item's creator when it resolves
 	// factual (Fig. 2's incentive for content creators; default 25).
 	CreatorReward uint64
+}
+
+// defaultMempoolCapacity scales the pending pool to the block size: room
+// for at least 128 full blocks, never below the historical 1<<16 floor.
+func defaultMempoolCapacity(maxTxsPerBlock int) int {
+	capacity := 128 * maxTxsPerBlock
+	if capacity < 1<<16 {
+		capacity = 1 << 16
+	}
+	return capacity
 }
 
 // DefaultConfig returns the standard configuration.
@@ -82,8 +96,19 @@ type Platform struct {
 	classifier aidetect.TextClassifier
 	mediaDet   *aidetect.MediaDetector
 
-	// receipts by tx id for inspection.
-	receipts map[ledger.TxID]contract.Receipt
+	// bus is the event-sourced commit pipeline: every committed block is
+	// published once, and all derived indexes (fact index, supply-chain
+	// graph, expert miner, receipts, penalties) update as subscribers.
+	bus *commitbus.Bus
+	// receipts is the receipt-by-txid subscriber.
+	receipts *receiptStore
+	// experts is the incremental per-topic item index for expert mining.
+	experts *supplychain.ExpertMiner
+	// dir is the durable data directory ("" for in-memory nodes).
+	dir string
+	// ckptHeight is the height covered by the last written or restored
+	// checkpoint (0 if none).
+	ckptHeight uint64
 	// authNonce tracks authority txs pending beyond the committed nonce.
 	authNonce uint64
 	// replicated marks a platform driven by external consensus; standalone
@@ -108,6 +133,9 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.Weights == (ranking.Weights{}) {
 		cfg.Weights = ranking.DefaultWeights()
 	}
+	if cfg.MempoolCapacity == 0 {
+		cfg.MempoolCapacity = defaultMempoolCapacity(cfg.MaxTxsPerBlock)
+	}
 	p := &Platform{
 		cfg:       cfg,
 		engine:    contract.NewEngine(),
@@ -115,11 +143,26 @@ func New(cfg Config) (*Platform, error) {
 		authority: keys.FromSeed([]byte(cfg.AuthoritySeed)),
 		factIndex: factdb.NewIndex(),
 		mediaDet:  aidetect.NewMediaDetector(),
-		receipts:  make(map[ledger.TxID]contract.Receipt),
+		bus:       commitbus.New(),
+		receipts:  newReceiptStore(),
+		experts:   supplychain.NewExpertMiner(),
 		clock:     func() time.Time { return time.Unix(1562500000, 0).UTC() },
 	}
-	p.pool = ledger.NewMempool(p.chain, 1<<16)
+	p.pool = ledger.NewMempool(p.chain, cfg.MempoolCapacity)
 	p.graph = supplychain.NewGraph(p.factIndex)
+	subs := []commitbus.Subscriber{
+		&contractState{engine: p.engine},
+		p.receipts,
+		&factdb.IndexSubscriber{Index: p.factIndex},
+		&supplychain.GraphSubscriber{Graph: p.graph},
+		p.experts,
+		&penaltyForwarder{p: p},
+	}
+	for _, s := range subs {
+		if err := p.bus.Register(s); err != nil {
+			return nil, err
+		}
+	}
 
 	auth := p.authority.Address()
 	contracts := []contract.Contract{
@@ -157,6 +200,24 @@ func (p *Platform) FactIndex() *factdb.Index { return p.factIndex }
 
 // SetClock overrides the block timestamp source.
 func (p *Platform) SetClock(now func() time.Time) { p.clock = now }
+
+// Bus exposes the commit-event bus (to register additional derived-index
+// subscribers before the first commit).
+func (p *Platform) Bus() *commitbus.Bus { return p.bus }
+
+// BusStats reports per-subscriber delivery/error/lag accounting.
+func (p *Platform) BusStats() []commitbus.SubscriberStats { return p.bus.Stats() }
+
+// ExpertMiner exposes the incremental per-topic item index.
+func (p *Platform) ExpertMiner() *supplychain.ExpertMiner { return p.experts }
+
+// CheckpointHeight returns the chain height covered by the last written
+// or restored checkpoint (0 if the node never checkpointed).
+func (p *Platform) CheckpointHeight() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ckptHeight
+}
 
 // TrainClassifier fits the AI text component on labelled statements.
 func (p *Platform) TrainClassifier(c aidetect.TextClassifier, train []corpus.Statement) error {
@@ -204,7 +265,7 @@ func (p *Platform) Commit() (*ledger.Block, []contract.Receipt, error) {
 		return nil, nil, fmt.Errorf("platform: append block: %w", err)
 	}
 	p.pool.Remove(txs)
-	p.indexReceipts(txs, recs)
+	p.publishLocked(blk, recs)
 	return blk, recs, nil
 }
 
@@ -234,52 +295,28 @@ func (p *Platform) ApplyExternalBlock(b *ledger.Block) error {
 	} else {
 		recs = p.engine.ExecuteBlock(b)
 	}
-	p.indexReceipts(b.Txs, recs)
+	p.publishLocked(b, recs)
 	return nil
 }
 
-// indexReceipts updates the fact index and supply-chain graph from
-// contract events. Caller holds p.mu.
-func (p *Platform) indexReceipts(txs []*ledger.Tx, recs []contract.Receipt) {
-	for i, rec := range recs {
-		p.receipts[rec.TxID] = rec
-		if !rec.OK {
-			continue
-		}
-		for _, ev := range rec.Events {
-			switch {
-			case ev.Contract == factdb.ContractName && ev.Type == "fact_added":
-				var f factdb.Fact
-				if err := decodeJSON(rec.Result, &f); err == nil {
-					p.factIndex.Add(f)
-				}
-			case ev.Contract == evidence.ContractName && ev.Type == "slashed":
-				// Close the accountability loop: a recorded consensus
-				// offence burns the offender's ranking stake. The penalty
-				// tx is enqueued here and lands in the next block.
-				if payload, err := ranking.PenalizePayload(ev.Attrs["offender"]); err == nil {
-					_ = p.authoritySubmitLocked("rank.penalize", payload)
-				}
-			case ev.Contract == supplychain.ContractName && ev.Type == "published":
-				var it supplychain.Item
-				if err := decodeJSON(rec.Result, &it); err == nil {
-					// AddItem can only fail on duplicates/orphans, which
-					// the contract already rejected.
-					_ = p.graph.AddItem(it)
-				}
-			}
-		}
-		_ = i
-	}
-	_ = txs
+// publishLocked feeds one committed block into the commit bus, updating
+// every derived index (fact index, supply-chain graph, expert miner,
+// receipt store, penalty forwarding) through its subscriber. Caller
+// holds p.mu. Subscriber failures are recorded in the bus accounting
+// (visible via BusStats / the HTTP gateway) rather than failing the
+// commit: the block is already durable, and a lagging index must not
+// fork the node away from consensus.
+func (p *Platform) publishLocked(b *ledger.Block, recs []contract.Receipt) {
+	_ = p.bus.Publish(commitbus.CommitEvent{
+		Height:   b.Header.Height,
+		Block:    b,
+		Receipts: recs,
+	})
 }
 
 // Receipt returns the receipt for a committed transaction.
 func (p *Platform) Receipt(id ledger.TxID) (contract.Receipt, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	rec, ok := p.receipts[id]
-	return rec, ok
+	return p.receipts.Get(id)
 }
 
 // ---------------------------------------------------------------------------
@@ -472,9 +509,18 @@ func (p *Platform) SeedFact(id string, topic corpus.Topic, text string) error {
 	return p.CommitAll()
 }
 
-// Experts mines the ledger for domain-topic experts (§VI, experiment E8).
+// Experts mines the ledger for domain-topic experts (§VI, experiment
+// E8). The expert-miner subscriber narrows the scan to the topic's
+// committed items, so the cost is proportional to the topic, not the
+// whole ledger.
 func (p *Platform) Experts(topic corpus.Topic, k int) []supplychain.ExpertScore {
-	traces := p.graph.TraceAll()
+	ids := p.experts.TopicItems(topic)
+	traces := make(map[string]supplychain.TraceResult, len(ids))
+	for _, id := range ids {
+		if tr, err := p.graph.Trace(id); err == nil {
+			traces[id] = tr
+		}
+	}
 	return p.graph.Experts(topic, traces, k)
 }
 
@@ -586,11 +632,4 @@ func (a *Actor) Balance() (uint64, error) {
 // Reputation returns the actor's ranking reputation.
 func (a *Actor) Reputation() (float64, error) {
 	return ranking.Reputation(a.p.engine, a.kp.Address(), a.kp.Address())
-}
-
-func decodeJSON(raw []byte, v any) error {
-	if len(raw) == 0 {
-		return errors.New("platform: empty result")
-	}
-	return json.Unmarshal(raw, v)
 }

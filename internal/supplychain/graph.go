@@ -61,6 +61,9 @@ type Graph struct {
 	items    map[string]*Item
 	children map[string][]string
 	facts    FactChecker
+	// order records item ids by insertion, so snapshots replay parents
+	// before children.
+	order []string
 
 	// hopSim caches per-edge text similarity.
 	hopSim map[edgeKey]float64
@@ -109,9 +112,38 @@ func (g *Graph) AddItem(it Item) error {
 	cp := it
 	cp.Parents = append([]string(nil), it.Parents...)
 	g.items[it.ID] = &cp
+	g.order = append(g.order, it.ID)
 	for _, p := range cp.Parents {
 		g.children[p] = append(g.children[p], it.ID)
 		g.hopSim[edgeKey{it.ID, p}] = factdb.Similarity(it.Text, g.items[p].Text)
+	}
+	return nil
+}
+
+// Items returns every item in insertion order (the checkpoint snapshot
+// format: parents always precede children).
+func (g *Graph) Items() []Item {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Item, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, *g.items[id])
+	}
+	return out
+}
+
+// Reset replaces the graph contents with the given items, added in order.
+func (g *Graph) Reset(items []Item) error {
+	g.mu.Lock()
+	g.items = make(map[string]*Item, len(items))
+	g.children = make(map[string][]string)
+	g.order = nil
+	g.hopSim = make(map[edgeKey]float64)
+	g.mu.Unlock()
+	for _, it := range items {
+		if err := g.AddItem(it); err != nil {
+			return err
+		}
 	}
 	return nil
 }

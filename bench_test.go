@@ -203,6 +203,18 @@ func BenchmarkE15LightClient(b *testing.B) {
 	}
 }
 
+func BenchmarkE16OffChainStorage(b *testing.B) {
+	cfg := experiments.DefaultE16()
+	cfg.Articles, cfg.Syndicated, cfg.Sentences = 6, 3, 30
+	cfg.LossRates = []float64{0, 0.05}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE16(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkE10Batching(b *testing.B) {
 	cfg := experiments.E10cConfig{BatchSizes: []int{64}, TotalTxs: 512, Seed: 10}
 	b.ReportAllocs()

@@ -163,6 +163,14 @@ func run(quick bool, only string) error {
 			}
 			return experiments.RunE15(cfg)
 		}},
+		{"E16", func(q bool) (*experiments.Table, error) {
+			cfg := experiments.DefaultE16()
+			if q {
+				cfg.Articles, cfg.Syndicated, cfg.Sentences = 6, 3, 30
+				cfg.LossRates = []float64{0, 0.05}
+			}
+			return experiments.RunE16(cfg)
+		}},
 	}
 	for _, r := range runners {
 		if len(want) > 0 && !want[r.id] && !want[strings.TrimRight(r.id, "ABCW")] {

@@ -35,35 +35,43 @@ func main() {
 	seedDemo := flag.Bool("seed-demo", false, "seed a demo factual database")
 	corpusSeed := flag.Int64("corpus-seed", 1, "training corpus seed")
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory node)")
+	blobDir := flag.String("blob-dir", "", "off-chain article body store directory (default <data>/blobs for durable nodes, in-memory otherwise)")
 	ckptEvery := flag.Duration("checkpoint-interval", 5*time.Minute, "how often a durable node checkpoints derived state (0 disables)")
 	flag.Parse()
-	if err := run(*addr, *seedDemo, *corpusSeed, *dataDir, *ckptEvery); err != nil {
+	if err := run(*addr, *seedDemo, *corpusSeed, *dataDir, *blobDir, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "trustnewsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seedDemo bool, corpusSeed int64, dataDir string, ckptEvery time.Duration) error {
+func run(addr string, seedDemo bool, corpusSeed int64, dataDir, blobDir string, ckptEvery time.Duration) error {
 	var (
 		p   *platform.Platform
 		err error
 	)
+	cfg := platform.DefaultConfig()
+	if blobDir != "" {
+		if err := os.MkdirAll(blobDir, 0o755); err != nil {
+			return err
+		}
+		cfg.BlobDir = blobDir
+	}
 	if dataDir != "" {
 		if err := os.MkdirAll(dataDir, 0o755); err != nil {
 			return err
 		}
 		var closeFn func() error
-		p, closeFn, err = platform.Open(dataDir, platform.DefaultConfig())
+		p, closeFn, err = platform.Open(dataDir, cfg)
 		if err != nil {
 			return err
 		}
 		defer closeFn()
-		log.Printf("durable node at %s: height %d, checkpoint height %d", dataDir, p.Chain().Height(), p.CheckpointHeight())
+		log.Printf("durable node at %s: height %d, checkpoint height %d, %d blobs", dataDir, p.Chain().Height(), p.CheckpointHeight(), p.Blobs().Stats().Blobs)
 		if ckptEvery > 0 {
 			go checkpointLoop(p, ckptEvery)
 		}
 	} else {
-		p, err = platform.New(platform.DefaultConfig())
+		p, err = platform.New(cfg)
 		if err != nil {
 			return err
 		}

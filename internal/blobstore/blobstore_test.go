@@ -1,0 +1,282 @@
+package blobstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/merkle"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewStore(16)
+	body := []byte("the committee approved the budget after a long debate over revenue")
+	cid, err := s.Put(body)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if !s.Has(cid) {
+		t.Fatal("Has after Put = false")
+	}
+	got, err := s.Get(cid)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, want %q", got, body)
+	}
+	// Deterministic CID, idempotent Put.
+	cid2, err := s.Put(body)
+	if err != nil || cid2 != cid {
+		t.Fatalf("second Put = (%s, %v), want (%s, nil)", cid2, err, cid)
+	}
+	if st := s.Stats(); st.Blobs != 1 {
+		t.Fatalf("Blobs = %d after duplicate Put, want 1", st.Blobs)
+	}
+}
+
+func TestEmptyBlobRejected(t *testing.T) {
+	s := NewStore(0)
+	if _, err := s.Put(nil); !errors.Is(err, ErrEmptyBlob) {
+		t.Fatalf("Put(nil) err = %v, want ErrEmptyBlob", err)
+	}
+	if _, err := ComputeCID(nil, 16); !errors.Is(err, ErrEmptyBlob) {
+		t.Fatalf("ComputeCID(nil) err = %v, want ErrEmptyBlob", err)
+	}
+}
+
+func TestComputeCIDMatchesStore(t *testing.T) {
+	s := NewStore(32)
+	body := []byte(strings.Repeat("chunked article body text ", 20))
+	want, err := ComputeCID(body, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Put(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Put cid %s != ComputeCID %s", got, want)
+	}
+}
+
+func TestChunkDedupAcrossBlobs(t *testing.T) {
+	s := NewStore(16)
+	var sb strings.Builder
+	for i := 0; i < 8; i++ { // 8 distinct aligned chunks
+		sb.WriteString(strings.Repeat(string(rune('0'+i)), 16))
+	}
+	shared := sb.String()
+	a := shared + strings.Repeat("A", 16) + strings.Repeat("a", 16)
+	b := shared + strings.Repeat("B", 16) + strings.Repeat("b", 16)
+	if _, err := s.PutString(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutString(b); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	// 10 chunks per blob, 8 shared: 12 physical chunks, not 20.
+	if st.Chunks != 12 {
+		t.Fatalf("Chunks = %d, want 12 (shared prefix deduplicated)", st.Chunks)
+	}
+	if st.DedupRatio <= 1.0 {
+		t.Fatalf("DedupRatio = %.2f, want > 1", st.DedupRatio)
+	}
+}
+
+func TestGetDetectsCorruption(t *testing.T) {
+	s := NewStore(8)
+	cid, err := s.PutString("aaaaaaaabbbbbbbbcccccccc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside a stored chunk behind the store's back.
+	m := s.blobs[cid]
+	data := s.chunks[m.Chunks[1]]
+	data[0] ^= 0xff
+	if _, err := s.Get(cid); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get after tamper err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGetUnknownCID(t *testing.T) {
+	s := NewStore(0)
+	cid, _ := ComputeCID([]byte("never stored"), 0)
+	if _, err := s.Get(cid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGCRespectsPinsAndRetains(t *testing.T) {
+	s := NewStore(16)
+	pinned, _ := s.PutString("operator pinned body that must survive gc")
+	retained, _ := s.PutString("chain referenced body that must survive gc")
+	loose, _ := s.PutString("unreferenced body that should be collected")
+	if err := s.Pin(pinned); err != nil {
+		t.Fatal(err)
+	}
+	s.Retain(retained)
+
+	victims := s.GC()
+	if len(victims) != 1 || victims[0] != loose {
+		t.Fatalf("GC = %v, want [%s]", victims, loose)
+	}
+	for _, cid := range []CID{pinned, retained} {
+		if _, err := s.Get(cid); err != nil {
+			t.Fatalf("Get(%s) after GC: %v", cid.Short(), err)
+		}
+	}
+	if _, err := s.Get(loose); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("collected blob still readable: %v", err)
+	}
+
+	// Releasing the last ledger ref and unpinning makes both collectable.
+	s.Release(retained)
+	if err := s.Unpin(pinned); err != nil {
+		t.Fatal(err)
+	}
+	if victims := s.GC(); len(victims) != 2 {
+		t.Fatalf("second GC = %v, want 2 victims", victims)
+	}
+	if st := s.Stats(); st.Blobs != 0 || st.Chunks != 0 {
+		t.Fatalf("store not empty after GC: %+v", st)
+	}
+}
+
+func TestGCKeepsSharedChunks(t *testing.T) {
+	s := NewStore(16)
+	shared := strings.Repeat("0123456789abcdef", 4)
+	keep, _ := s.PutString(shared + "KEEPKEEPKEEPKEEP")
+	_, _ = s.PutString(shared + "DROPDROPDROPDROP")
+	s.Retain(keep)
+	s.GC()
+	if body, err := s.GetString(keep); err != nil || !strings.HasPrefix(body, shared) {
+		t.Fatalf("survivor unreadable after GC of chunk-sharing sibling: %v", err)
+	}
+}
+
+func TestFilePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.Repeat("durable article body ", 10)
+	cid, err := s.PutString(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin(cid); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, 16)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := re.GetString(cid)
+	if err != nil || got != body {
+		t.Fatalf("reopened Get = (%q, %v), want body", got, err)
+	}
+	if !re.Pinned(cid) {
+		t.Fatal("pin not persisted")
+	}
+	re.GC()
+	if !re.Has(cid) {
+		t.Fatal("pinned blob collected after reopen")
+	}
+}
+
+func TestFilePersistenceDetectsTamperedChunk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid, err := s.PutString(strings.Repeat("tamper evident body ", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Stat(cid)
+	// Corrupt one chunk file on disk.
+	path := filepath.Join(dir, "chunks", m.Chunks[0].String())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, 16)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := re.Get(cid); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of tampered blob err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFallbackVerifiesBeforeCaching(t *testing.T) {
+	remote := NewStore(16)
+	body := strings.Repeat("remote body ", 8)
+	cid, _ := remote.PutString(body)
+
+	local := NewStore(16)
+	local.SetFallback(func(c CID) ([]byte, bool) {
+		b, err := remote.Get(c)
+		return b, err == nil
+	})
+	got, err := local.GetString(cid)
+	if err != nil || got != body {
+		t.Fatalf("fallback Get = (%q, %v)", got, err)
+	}
+	// Cached: a second read works without the fallback.
+	local.SetFallback(nil)
+	if _, err := local.Get(cid); err != nil {
+		t.Fatalf("cached Get: %v", err)
+	}
+
+	// A lying fallback is rejected.
+	liar := NewStore(16)
+	liar.SetFallback(func(CID) ([]byte, bool) { return []byte("wrong bytes entirely"), true })
+	other, _ := ComputeCID([]byte("some other body"), 16)
+	if _, err := liar.Get(other); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lying fallback err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestManifestVerify(t *testing.T) {
+	s := NewStore(16)
+	cid, _ := s.PutString(strings.Repeat("manifest body ", 8))
+	m, _ := s.Stat(cid)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("honest manifest: %v", err)
+	}
+	forged := m
+	forged.Chunks = append([]ChunkHash(nil), m.Chunks...)
+	forged.Chunks[0] = merkle.HashLeaf([]byte("swapped"))
+	if err := forged.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("forged manifest err = %v, want ErrCorrupt", err)
+	}
+	short := m
+	short.Chunks = m.Chunks[:len(m.Chunks)-1]
+	if err := short.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated manifest err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestParseCID(t *testing.T) {
+	if _, err := ParseCID("zz"); !errors.Is(err, ErrBadCID) {
+		t.Fatalf("ParseCID(zz) err = %v", err)
+	}
+	cid, _ := ComputeCID([]byte("x"), 0)
+	if parsed, err := ParseCID(string(cid)); err != nil || parsed != cid {
+		t.Fatalf("ParseCID round trip = (%s, %v)", parsed, err)
+	}
+}

@@ -1,0 +1,383 @@
+package blobstore
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/merkle"
+	"repro/internal/simnet"
+)
+
+// Simnet message kinds of the blob retrieval protocol. A node missing a
+// blob asks a peer for the manifest first (verifiable on its own: the
+// chunk hashes fold to the CID), then pulls the chunks, verifying each
+// against its hash. Loss is handled by per-request timeouts and bounded
+// retries; a peer that times out, answers not-found, or serves corrupted
+// bytes is abandoned for the next peer in the list.
+const (
+	KindManifestReq  = "blob.manifest.req"
+	KindManifestResp = "blob.manifest.resp"
+	KindChunkReq     = "blob.chunk.req"
+	KindChunkResp    = "blob.chunk.resp"
+)
+
+// ErrFetchFailed indicates a fetch that exhausted every peer.
+var ErrFetchFailed = errors.New("blobstore: fetch failed on all peers")
+
+// manifestReq asks a peer for a blob's manifest.
+type manifestReq struct {
+	ID  uint64
+	CID CID
+}
+
+// manifestResp answers a manifestReq.
+type manifestResp struct {
+	ID        uint64
+	Found     bool
+	Size      int
+	ChunkSize int
+	Chunks    []ChunkHash
+}
+
+// chunkReq asks a peer for one chunk by hash.
+type chunkReq struct {
+	ID   uint64
+	Hash ChunkHash
+}
+
+// chunkResp answers a chunkReq.
+type chunkResp struct {
+	ID    uint64
+	Found bool
+	Data  []byte
+}
+
+// FetchConfig tunes one peer's retrieval behaviour.
+type FetchConfig struct {
+	// Timeout is the per-request deadline (default 250 ms of virtual time).
+	Timeout time.Duration
+	// Retries is how many times one request is retried against the same
+	// peer before failing over (default 2).
+	Retries int
+}
+
+// FetchStats counts retrieval-protocol activity on one peer.
+type FetchStats struct {
+	Fetches       int `json:"fetches"`
+	Fetched       int `json:"fetched"`
+	Failed        int `json:"failed"`
+	Timeouts      int `json:"timeouts"`
+	Failovers     int `json:"failovers"`
+	CorruptChunks int `json:"corruptChunks"`
+}
+
+// Peer binds a Store to a simnet node: it serves manifest and chunk
+// requests from the store, and fetches missing blobs from other peers.
+// All interaction runs inside the simnet event loop, so no locking is
+// needed beyond what Store provides.
+type Peer struct {
+	net   *simnet.Network
+	id    simnet.NodeID
+	store *Store
+	cfg   FetchConfig
+
+	nextReq   uint64
+	manifests map[uint64]func(manifestResp)
+	chunks    map[uint64]func(chunkResp)
+	stats     FetchStats
+
+	// TamperChunk, when set, rewrites chunk bytes before they are served —
+	// the fault-injection hook the adversarial retrieval tests use to model
+	// a malicious or bit-rotted peer. Production peers leave it nil.
+	TamperChunk func(h ChunkHash, data []byte) []byte
+}
+
+// NewPeer creates a peer for the given node id over the network.
+func NewPeer(net *simnet.Network, id simnet.NodeID, store *Store, cfg FetchConfig) *Peer {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 250 * time.Millisecond
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 2
+	}
+	return &Peer{
+		net:       net,
+		id:        id,
+		store:     store,
+		cfg:       cfg,
+		manifests: make(map[uint64]func(manifestResp)),
+		chunks:    make(map[uint64]func(chunkResp)),
+	}
+}
+
+// ID returns the peer's simnet node id.
+func (p *Peer) ID() simnet.NodeID { return p.id }
+
+// Store returns the peer's underlying blob store.
+func (p *Peer) Store() *Store { return p.store }
+
+// Stats returns a copy of the retrieval counters.
+func (p *Peer) Stats() FetchStats { return p.stats }
+
+// Bind registers the peer's message handler on the network.
+func (p *Peer) Bind() error {
+	return p.net.AddNode(p.id, p.Handle)
+}
+
+// Handle processes one simnet message. Exposed so a node multiplexing
+// several protocols on one simnet id can route blob traffic here.
+func (p *Peer) Handle(m simnet.Message) {
+	switch m.Kind {
+	case KindManifestReq:
+		req, ok := m.Payload.(manifestReq)
+		if !ok {
+			return
+		}
+		resp := manifestResp{ID: req.ID}
+		if man, err := p.store.Stat(req.CID); err == nil {
+			resp.Found = true
+			resp.Size = man.Size
+			resp.ChunkSize = man.ChunkSize
+			resp.Chunks = man.Chunks
+		}
+		_ = p.net.Send(p.id, m.From, KindManifestResp, resp)
+	case KindChunkReq:
+		req, ok := m.Payload.(chunkReq)
+		if !ok {
+			return
+		}
+		resp := chunkResp{ID: req.ID}
+		if data, ok := p.store.Chunk(req.Hash); ok {
+			if p.TamperChunk != nil {
+				data = p.TamperChunk(req.Hash, data)
+			}
+			resp.Found = true
+			resp.Data = data
+		}
+		_ = p.net.Send(p.id, m.From, KindChunkResp, resp)
+	case KindManifestResp:
+		resp, ok := m.Payload.(manifestResp)
+		if !ok {
+			return
+		}
+		if done, live := p.manifests[resp.ID]; live {
+			delete(p.manifests, resp.ID)
+			done(resp)
+		}
+	case KindChunkResp:
+		resp, ok := m.Payload.(chunkResp)
+		if !ok {
+			return
+		}
+		if done, live := p.chunks[resp.ID]; live {
+			delete(p.chunks, resp.ID)
+			done(resp)
+		}
+	}
+}
+
+// Fetch retrieves a blob from the given peers (tried in order), verifies
+// it chunk by chunk and as a whole against the CID, stores it locally,
+// and invokes onDone with the body or an error. It is asynchronous: the
+// caller must drive the network (net.Run) for the fetch to progress.
+//
+// Failure handling per the retrieval protocol: each request (manifest or
+// chunk) times out after cfg.Timeout and is retried cfg.Retries times
+// against the current peer; then the fetch fails over to the next peer.
+// A corrupted chunk (hash mismatch) counts as a failed peer for that
+// chunk and is refetched from the next one.
+func (p *Peer) Fetch(cid CID, peers []simnet.NodeID, onDone func(body []byte, err error)) {
+	p.stats.Fetches++
+	// The Has guard keeps this from consulting the store's fallback —
+	// which may itself be implemented in terms of Fetch.
+	if p.store.Has(cid) {
+		if body, err := p.store.Get(cid); err == nil {
+			p.stats.Fetched++
+			onDone(body, nil)
+			return
+		}
+	}
+	if len(peers) == 0 {
+		p.stats.Failed++
+		onDone(nil, fmt.Errorf("%w: no peers", ErrFetchFailed))
+		return
+	}
+	f := &fetchState{p: p, cid: cid, peers: peers, onDone: onDone}
+	f.requestManifest(0, 0)
+}
+
+// fetchState tracks one in-flight blob retrieval.
+type fetchState struct {
+	p      *Peer
+	cid    CID
+	peers  []simnet.NodeID
+	onDone func([]byte, error)
+
+	manifest *Manifest
+	chunks   map[ChunkHash][]byte
+	missing  []ChunkHash
+	done     bool
+}
+
+func (f *fetchState) finish(body []byte, err error) {
+	if f.done {
+		return
+	}
+	f.done = true
+	if err != nil {
+		f.p.stats.Failed++
+	} else {
+		f.p.stats.Fetched++
+	}
+	f.onDone(body, err)
+}
+
+// requestManifest asks peers[peerIdx] for the manifest (attempt counts
+// retries against that peer).
+func (f *fetchState) requestManifest(peerIdx, attempt int) {
+	if f.done {
+		return
+	}
+	if peerIdx >= len(f.peers) {
+		f.finish(nil, fmt.Errorf("%w: manifest for %s", ErrFetchFailed, f.cid.Short()))
+		return
+	}
+	p := f.p
+	id := p.nextReq
+	p.nextReq++
+	answered := false
+	p.manifests[id] = func(resp manifestResp) {
+		answered = true
+		if f.done {
+			return
+		}
+		m := &Manifest{CID: f.cid, Size: resp.Size, ChunkSize: resp.ChunkSize, Chunks: resp.Chunks}
+		if !resp.Found || m.Verify() != nil {
+			// Peer lacks the blob or served a forged manifest: fail over.
+			p.stats.Failovers++
+			f.requestManifest(peerIdx+1, 0)
+			return
+		}
+		f.manifest = m
+		f.chunks = make(map[ChunkHash][]byte, len(m.Chunks))
+		for _, h := range m.Chunks {
+			f.missing = append(f.missing, h)
+		}
+		f.nextChunk(peerIdx)
+	}
+	_ = p.net.Send(p.id, f.peers[peerIdx], KindManifestReq, manifestReq{ID: id, CID: f.cid})
+	p.net.After(p.id, p.cfg.Timeout, func() {
+		if answered || f.done {
+			return
+		}
+		delete(p.manifests, id)
+		p.stats.Timeouts++
+		if attempt+1 < p.cfg.Retries {
+			f.requestManifest(peerIdx, attempt+1)
+		} else {
+			p.stats.Failovers++
+			f.requestManifest(peerIdx+1, 0)
+		}
+	})
+}
+
+// nextChunk requests the next missing chunk, preferring the given peer.
+func (f *fetchState) nextChunk(peerIdx int) {
+	if f.done {
+		return
+	}
+	if len(f.missing) == 0 {
+		f.assemble()
+		return
+	}
+	h := f.missing[0]
+	f.missing = f.missing[1:]
+	if _, ok := f.chunks[h]; ok { // deduped chunk already fetched
+		f.nextChunk(peerIdx)
+		return
+	}
+	if data, ok := f.p.store.Chunk(h); ok { // already held locally
+		f.chunks[h] = data
+		f.nextChunk(peerIdx)
+		return
+	}
+	f.requestChunk(h, peerIdx, peerIdx, 0)
+}
+
+// requestChunk pulls one chunk from peers[cur] (preferred peer remembered
+// so later chunks start from a live peer rather than a dead one).
+func (f *fetchState) requestChunk(h ChunkHash, preferred, cur, attempt int) {
+	if f.done {
+		return
+	}
+	if cur >= len(f.peers) {
+		f.finish(nil, fmt.Errorf("%w: chunk %s of %s", ErrFetchFailed, h.Short(), f.cid.Short()))
+		return
+	}
+	p := f.p
+	id := p.nextReq
+	p.nextReq++
+	answered := false
+	p.chunks[id] = func(resp chunkResp) {
+		answered = true
+		if f.done {
+			return
+		}
+		if resp.Found && merkle.HashLeaf(resp.Data) == h {
+			f.chunks[h] = resp.Data
+			f.nextChunk(preferred)
+			return
+		}
+		if resp.Found {
+			// Served bytes do not hash to the requested chunk: a corrupted
+			// or malicious peer, detected before anything is stored.
+			p.stats.CorruptChunks++
+		}
+		p.stats.Failovers++
+		f.requestChunk(h, cur+1, cur+1, 0)
+	}
+	_ = p.net.Send(p.id, f.peers[cur], KindChunkReq, chunkReq{ID: id, Hash: h})
+	p.net.After(p.id, p.cfg.Timeout, func() {
+		if answered || f.done {
+			return
+		}
+		delete(p.chunks, id)
+		p.stats.Timeouts++
+		if attempt+1 < p.cfg.Retries {
+			f.requestChunk(h, preferred, cur, attempt+1)
+		} else {
+			p.stats.Failovers++
+			f.requestChunk(h, cur+1, cur+1, 0)
+		}
+	})
+}
+
+// assemble rebuilds the body from fetched chunks, runs the final
+// whole-blob verification, stores it, and completes the fetch.
+func (f *fetchState) assemble() {
+	body := make([]byte, 0, f.manifest.Size)
+	for _, h := range f.manifest.Chunks {
+		data, ok := f.chunks[h]
+		if !ok {
+			f.finish(nil, fmt.Errorf("%w: missing chunk %s", ErrFetchFailed, h.Short()))
+			return
+		}
+		body = append(body, data...)
+	}
+	got, err := ComputeCID(body, f.manifest.ChunkSize)
+	if err != nil || got != f.cid {
+		f.finish(nil, fmt.Errorf("%w: %s", ErrCorrupt, f.cid.Short()))
+		return
+	}
+	// Cache locally so later Gets (and peers fetching from us) are served
+	// from here. Only possible when chunking granularity matches ours —
+	// otherwise Put would derive a different CID for the same body.
+	if f.manifest.ChunkSize == f.p.store.ChunkSize() {
+		if _, err := f.p.store.Put(body); err != nil {
+			f.finish(nil, err)
+			return
+		}
+	}
+	f.finish(body, nil)
+}

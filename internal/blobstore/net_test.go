@@ -1,0 +1,211 @@
+package blobstore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// fetchHarness wires n serving peers (all holding nothing initially) plus
+// one requester over a fresh simnet network.
+type fetchHarness struct {
+	net    *simnet.Network
+	peers  []*Peer
+	client *Peer
+}
+
+func newFetchHarness(t *testing.T, seed int64, nPeers int, cfg FetchConfig) *fetchHarness {
+	t.Helper()
+	net := simnet.New(seed)
+	h := &fetchHarness{net: net}
+	for i := 0; i < nPeers; i++ {
+		p := NewPeer(net, simnet.NodeID("peer"+string(rune('a'+i))), NewStore(16), cfg)
+		if err := p.Bind(); err != nil {
+			t.Fatal(err)
+		}
+		h.peers = append(h.peers, p)
+	}
+	h.client = NewPeer(net, "client", NewStore(16), cfg)
+	if err := h.client.Bind(); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func (h *fetchHarness) peerIDs() []simnet.NodeID {
+	out := make([]simnet.NodeID, len(h.peers))
+	for i, p := range h.peers {
+		out[i] = p.ID()
+	}
+	return out
+}
+
+// fetchSync runs a fetch to completion under the simnet event loop.
+func (h *fetchHarness) fetchSync(t *testing.T, cid CID) ([]byte, error) {
+	t.Helper()
+	var (
+		body []byte
+		err  error
+		done bool
+	)
+	h.client.Fetch(cid, h.peerIDs(), func(b []byte, e error) {
+		body, err, done = b, e, true
+	})
+	h.net.RunWhile(func() bool { return !done })
+	if !done {
+		t.Fatal("fetch never completed")
+	}
+	return body, err
+}
+
+const testBody = "the ministry confirmed the agreement and published the schedule " +
+	"for the next fiscal period with oversight from the committee"
+
+func TestFetchFromHealthyPeer(t *testing.T) {
+	h := newFetchHarness(t, 1, 2, FetchConfig{})
+	cid, _ := h.peers[0].Store().PutString(testBody)
+	body, err := h.fetchSync(t, cid)
+	if err != nil || string(body) != testBody {
+		t.Fatalf("fetch = (%q, %v)", body, err)
+	}
+	// Fetched blob is cached and verifiable locally.
+	if got, err := h.client.Store().GetString(cid); err != nil || got != testBody {
+		t.Fatalf("local Get after fetch = (%q, %v)", got, err)
+	}
+}
+
+func TestFetchUnderLoss(t *testing.T) {
+	for _, loss := range []float64{0.01, 0.05, 0.25} {
+		h := newFetchHarness(t, 7, 2, FetchConfig{Timeout: 100 * time.Millisecond, Retries: 4})
+		h.net.SetAllLinks(simnet.LinkConfig{
+			BaseLatency: 5 * time.Millisecond,
+			Jitter:      5 * time.Millisecond,
+			LossRate:    loss,
+		})
+		body := strings.Repeat(testBody+" ", 4) // multiple chunks in flight
+		cid, _ := h.peers[0].Store().PutString(body)
+		cid2, _ := h.peers[1].Store().PutString(body)
+		if cid != cid2 {
+			t.Fatal("stores disagree on CID")
+		}
+		got, err := h.fetchSync(t, cid)
+		if err != nil || string(got) != body {
+			t.Fatalf("loss %.0f%%: fetch = (%d bytes, %v)", loss*100, len(got), err)
+		}
+	}
+}
+
+func TestFetchFailsOverToSecondPeerWhenFirstPartitioned(t *testing.T) {
+	h := newFetchHarness(t, 3, 2, FetchConfig{Timeout: 50 * time.Millisecond, Retries: 2})
+	body := strings.Repeat(testBody+" ", 2)
+	cidA, _ := h.peers[0].Store().PutString(body)
+	cidB, _ := h.peers[1].Store().PutString(body)
+	if cidA != cidB {
+		t.Fatal("stores disagree on CID")
+	}
+	// Cut the first peer off from the client entirely.
+	h.net.Partition([]simnet.NodeID{h.peers[0].ID()})
+	got, err := h.fetchSync(t, cidA)
+	if err != nil || string(got) != body {
+		t.Fatalf("fetch with partitioned primary = (%d bytes, %v)", len(got), err)
+	}
+	if h.client.Stats().Failovers == 0 {
+		t.Fatal("expected at least one failover past the partitioned peer")
+	}
+}
+
+func TestFetchFailsWhenAllPeersUnreachable(t *testing.T) {
+	h := newFetchHarness(t, 5, 2, FetchConfig{Timeout: 50 * time.Millisecond, Retries: 2})
+	cid, _ := h.peers[0].Store().PutString(testBody)
+	_, _ = h.peers[1].Store().PutString(testBody)
+	h.net.Partition([]simnet.NodeID{h.client.ID()}) // client alone
+	if _, err := h.fetchSync(t, cid); !errors.Is(err, ErrFetchFailed) {
+		t.Fatalf("fetch err = %v, want ErrFetchFailed", err)
+	}
+	if st := h.client.Stats(); st.Failed != 1 || st.Timeouts == 0 {
+		t.Fatalf("stats = %+v, want Failed=1 and timeouts recorded", st)
+	}
+}
+
+func TestCorruptedChunkDetectedAndRefetchedElsewhere(t *testing.T) {
+	h := newFetchHarness(t, 11, 2, FetchConfig{})
+	body := strings.Repeat(testBody+" ", 3)
+	cid, _ := h.peers[0].Store().PutString(body)
+	_, _ = h.peers[1].Store().PutString(body)
+
+	// First peer serves a flipped byte in every chunk it is asked for.
+	h.peers[0].TamperChunk = func(_ ChunkHash, data []byte) []byte {
+		bad := append([]byte(nil), data...)
+		bad[0] ^= 0xff
+		return bad
+	}
+	got, err := h.fetchSync(t, cid)
+	if err != nil || string(got) != body {
+		t.Fatalf("fetch past corrupting peer = (%d bytes, %v)", len(got), err)
+	}
+	st := h.client.Stats()
+	if st.CorruptChunks == 0 {
+		t.Fatal("corruption served but never detected")
+	}
+	if st.Failovers == 0 {
+		t.Fatal("no failover recorded after corrupt chunk")
+	}
+	// The corrupted bytes must not have poisoned the local cache.
+	if local, err := h.client.Store().GetString(cid); err != nil || local != body {
+		t.Fatalf("local cache after corrupt-peer fetch = (%v, %v)", len(local), err)
+	}
+}
+
+func TestFetchFailsWhenEveryPeerCorrupts(t *testing.T) {
+	h := newFetchHarness(t, 13, 2, FetchConfig{})
+	cid, _ := h.peers[0].Store().PutString(testBody)
+	_, _ = h.peers[1].Store().PutString(testBody)
+	tamper := func(_ ChunkHash, data []byte) []byte {
+		bad := append([]byte(nil), data...)
+		bad[len(bad)-1] ^= 0x01
+		return bad
+	}
+	h.peers[0].TamperChunk = tamper
+	h.peers[1].TamperChunk = tamper
+	if _, err := h.fetchSync(t, cid); !errors.Is(err, ErrFetchFailed) {
+		t.Fatalf("fetch err = %v, want ErrFetchFailed", err)
+	}
+	if h.client.Store().Has(cid) {
+		t.Fatal("corrupted blob cached locally")
+	}
+}
+
+func TestForgedManifestRejected(t *testing.T) {
+	h := newFetchHarness(t, 17, 2, FetchConfig{})
+	body := strings.Repeat(testBody+" ", 2)
+	// The first peer stores DIFFERENT content; asking it for our CID
+	// yields not-found, so the fetch must fail over. The second peer is
+	// honest.
+	_, _ = h.peers[0].Store().PutString("entirely different content")
+	cid, _ := h.peers[1].Store().PutString(body)
+	got, err := h.fetchSync(t, cid)
+	if err != nil || string(got) != body {
+		t.Fatalf("fetch = (%d bytes, %v)", len(got), err)
+	}
+}
+
+func TestFetchServedLocallyWithoutNetwork(t *testing.T) {
+	h := newFetchHarness(t, 19, 1, FetchConfig{})
+	cid, _ := h.client.Store().PutString(testBody)
+	var done bool
+	h.client.Fetch(cid, h.peerIDs(), func(b []byte, err error) {
+		if err != nil || string(b) != testBody {
+			t.Fatalf("local fetch = (%q, %v)", b, err)
+		}
+		done = true
+	})
+	if !done {
+		t.Fatal("locally-held fetch should complete synchronously")
+	}
+	if h.net.Stats().Sent != 0 {
+		t.Fatal("local fetch generated network traffic")
+	}
+}

@@ -1,0 +1,83 @@
+package blobstore
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/commitbus"
+)
+
+// SubscriberName identifies the blob-reference subscriber on the commit
+// bus and keys its blob inside durable checkpoints.
+const SubscriberName = "blob-refs"
+
+// RefSubscriber ties the store's garbage collector to the ledger: every
+// committed block's published events that cite a CID add one ledger
+// reference, so GC can never collect an article body the chain still
+// points at. It is registered on the platform commit bus alongside the
+// other derived indexes and checkpoints its reference table.
+type RefSubscriber struct {
+	Store *Store
+	// Contract and EventType select the events carrying CIDs; AttrKey is
+	// the attribute holding the CID string.
+	Contract  string
+	EventType string
+	AttrKey   string
+}
+
+var _ commitbus.Subscriber = (*RefSubscriber)(nil)
+
+// NewsRefSubscriber builds the standard subscriber watching the news
+// contract's published events for "cid" attributes.
+func NewsRefSubscriber(s *Store) *RefSubscriber {
+	return &RefSubscriber{Store: s, Contract: "news", EventType: "published", AttrKey: "cid"}
+}
+
+// Name implements commitbus.Subscriber.
+func (r *RefSubscriber) Name() string { return SubscriberName }
+
+// OnCommit implements commitbus.Subscriber.
+func (r *RefSubscriber) OnCommit(ev commitbus.CommitEvent) error {
+	for _, rec := range ev.Receipts {
+		if !rec.OK {
+			continue
+		}
+		for _, e := range rec.Events {
+			if e.Contract != r.Contract || e.Type != r.EventType {
+				continue
+			}
+			raw, ok := e.Attrs[r.AttrKey]
+			if !ok || raw == "" {
+				continue // inline-body item: nothing off-chain to protect
+			}
+			cid, err := ParseCID(raw)
+			if err != nil {
+				return fmt.Errorf("blobstore: event cid: %w", err)
+			}
+			r.Store.Retain(cid)
+		}
+	}
+	return nil
+}
+
+// refSnapshot is the serialized reference table.
+type refSnapshot struct {
+	Refs map[CID]int `json:"refs"`
+}
+
+// Snapshot implements commitbus.Subscriber.
+func (r *RefSubscriber) Snapshot() ([]byte, error) {
+	return json.Marshal(refSnapshot{Refs: r.Store.RetainedRefs()})
+}
+
+// Restore implements commitbus.Subscriber.
+func (r *RefSubscriber) Restore(data []byte) error {
+	var snap refSnapshot
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("blobstore: decode ref snapshot: %w", err)
+		}
+	}
+	r.Store.ResetRetained(snap.Refs)
+	return nil
+}

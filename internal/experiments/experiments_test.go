@@ -365,6 +365,36 @@ func TestE15LightClientCosts(t *testing.T) {
 	}
 }
 
+func TestE16OffChainShrinksChainAndSurvivesLoss(t *testing.T) {
+	cfg := DefaultE16()
+	cfg.Articles, cfg.Syndicated, cfg.Sentences = 6, 3, 30
+	cfg.LossRates = []float64{0, 0.05}
+	tbl, err := RunE16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: inline, off-chain, then one fetch row per loss rate.
+	inlinePer := cell(t, tbl, 0, 4)
+	offPer := cell(t, tbl, 1, 4)
+	shrink := cell(t, tbl, 1, 5)
+	if shrink < 5 {
+		t.Fatalf("on-chain bytes/article shrink %.1fx (inline %.1f, off-chain %.1f); want >=5x",
+			shrink, inlinePer, offPer)
+	}
+	// Syndicated copies dedup against the originals.
+	if dedup := cell(t, tbl, 1, 6); dedup <= 1 {
+		t.Fatalf("dedup ratio %.3f; verbatim copies should share chunks", dedup)
+	}
+	for i := 2; i < len(tbl.Rows); i++ {
+		if avg := cell(t, tbl, i, 7); avg <= 0 {
+			t.Fatalf("fetch row %d avg latency %.1f", i, avg)
+		}
+		if max := cell(t, tbl, i, 8); max < cell(t, tbl, i, 7) {
+			t.Fatalf("fetch row %d max %.1f < avg", i, max)
+		}
+	}
+}
+
 func TestE10BatchingAmortizes(t *testing.T) {
 	cfg := E10cConfig{BatchSizes: []int{1, 256}, TotalTxs: 512, Seed: 10}
 	tbl, err := RunE10Batching(cfg)

@@ -18,6 +18,8 @@
 //	GET  /v1/experts?topic=t&k=5
 //	GET  /v1/accounts/{addr}   identity + balance + reputation
 //	GET  /v1/proofs/{txid}     light-client Merkle inclusion proof
+//	GET  /v1/blobs/{cid}       raw off-chain article body (verified)
+//	GET  /v1/search?q=&k=      full-text search over committed articles
 package httpapi
 
 import (
@@ -29,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/blobstore"
 	"repro/internal/corpus"
 	"repro/internal/factdb"
 	"repro/internal/identity"
@@ -38,7 +41,6 @@ import (
 	"repro/internal/merkle"
 	"repro/internal/platform"
 	"repro/internal/ranking"
-	"repro/internal/supplychain"
 )
 
 // Server is the HTTP gateway over one platform node.
@@ -65,6 +67,8 @@ func New(p *platform.Platform, autoCommit bool) *Server {
 	mux.HandleFunc("GET /v1/experts", s.handleExperts)
 	mux.HandleFunc("GET /v1/accounts/{addr}", s.handleAccount)
 	mux.HandleFunc("GET /v1/proofs/{txid}", s.handleProof)
+	mux.HandleFunc("GET /v1/blobs/{cid}", s.handleBlob)
+	mux.HandleFunc("GET /v1/search", s.handleSearch)
 	s.mux = mux
 	return s
 }
@@ -174,12 +178,54 @@ func (s *Server) handleCommitBus(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleItem(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	item, err := supplychain.GetItem(s.p.Engine(), s.p.Authority(), id)
+	// Platform.Item hydrates off-chain bodies, so clients always see Text.
+	item, err := s.p.Item(id)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, item)
+}
+
+// handleBlob serves a raw article body by content id. The store verifies
+// the bytes against the CID's chunk root on every read, so a corrupted
+// blob surfaces as an error, never as silently wrong content.
+func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
+	cid, err := blobstore.ParseCID(r.PathValue("cid"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := s.p.Blobs().Get(cid)
+	if err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, blobstore.ErrCorrupt) {
+			status = http.StatusBadGateway
+		}
+		writeErr(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v <= 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("k must be a positive integer"))
+			return
+		}
+		k = v
+	}
+	writeJSON(w, http.StatusOK, s.p.Search(q, k))
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {

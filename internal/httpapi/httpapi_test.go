@@ -5,9 +5,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/aidetect"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/light"
 	"repro/internal/platform"
+	"repro/internal/search"
 	"repro/internal/supplychain"
 )
 
@@ -318,6 +321,61 @@ func TestProofEndpointVerifiesWithLightClient(t *testing.T) {
 	unknown := ledger.TxID{0xaa}
 	if code := f.get("/v1/proofs/"+unknown.String(), nil); code != http.StatusNotFound {
 		t.Fatalf("unknown id status=%d", code)
+	}
+}
+
+func TestBlobAndSearchEndpoints(t *testing.T) {
+	f := newFixture(t)
+	alice := keys.FromSeed([]byte("alice"))
+	// Publish with the body off-chain: store it, commit only the CID.
+	cid, err := f.p.Blobs().PutString(factText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := supplychain.PublishRefPayload("n1", corpus.TopicPolitics, string(cid), len(factText), nil, "")
+	f.submit(alice, "news.publish", payload)
+
+	// The item record carries the CID, hydrated for readers, and the blob
+	// endpoint serves the raw verified bytes.
+	var item supplychain.Item
+	if code := f.get("/v1/items/n1", &item); code != http.StatusOK {
+		t.Fatalf("item status=%d", code)
+	}
+	if item.CID != string(cid) || item.Text != factText {
+		t.Fatalf("item not hydrated: %+v", item)
+	}
+	resp, err := http.Get(f.srv.URL + "/v1/blobs/" + item.CID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(raw) != factText {
+		t.Fatalf("blob status=%d body=%q", resp.StatusCode, raw)
+	}
+
+	// Search finds the committed article.
+	var results []search.Result
+	if code := f.get("/v1/search?q=parliament+treaty&k=3", &results); code != http.StatusOK {
+		t.Fatalf("search status=%d", code)
+	}
+	if len(results) == 0 || results[0].ID != "n1" {
+		t.Fatalf("search results=%v", results)
+	}
+
+	// Malformed and missing inputs.
+	if code := f.get("/v1/blobs/nothex", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad cid status=%d", code)
+	}
+	ghost := strings.Repeat("ab", 32)
+	if code := f.get("/v1/blobs/"+ghost, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown cid status=%d", code)
+	}
+	if code := f.get("/v1/search", nil); code != http.StatusBadRequest {
+		t.Fatalf("missing q status=%d", code)
+	}
+	if code := f.get("/v1/search?q=treaty&k=0", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad k status=%d", code)
 	}
 }
 

@@ -17,12 +17,18 @@ var (
 	ErrStaleNonce = errors.New("ledger: stale nonce")
 )
 
+// DefaultMempoolPayloadBytes is the default admission-time payload cap —
+// much tighter than the consensus hard cap, since a well-behaved client
+// publishes article bodies off-chain and sends only small references.
+const DefaultMempoolPayloadBytes = 64 << 10
+
 // Mempool holds verified, uncommitted transactions and assembles
 // nonce-ordered batches for the block proposer.
 type Mempool struct {
-	mu      sync.Mutex
-	cap     int
-	pending map[TxID]*Tx
+	mu         sync.Mutex
+	cap        int
+	maxPayload int
+	pending    map[TxID]*Tx
 	// bySender keeps pending txs per sender for nonce-ordered selection.
 	bySender map[string][]*Tx
 	chain    *Chain
@@ -34,11 +40,27 @@ func NewMempool(chain *Chain, capacity int) *Mempool {
 		capacity = 4096
 	}
 	return &Mempool{
-		cap:      capacity,
-		pending:  make(map[TxID]*Tx),
-		bySender: make(map[string][]*Tx),
-		chain:    chain,
+		cap:        capacity,
+		maxPayload: DefaultMempoolPayloadBytes,
+		pending:    make(map[TxID]*Tx),
+		bySender:   make(map[string][]*Tx),
+		chain:      chain,
 	}
+}
+
+// SetMaxPayloadBytes tunes the admission-time payload cap (0 restores
+// the default). It is clamped to the consensus hard cap: a looser pool
+// would admit transactions every validating node rejects.
+func (m *Mempool) SetMaxPayloadBytes(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= 0 {
+		n = DefaultMempoolPayloadBytes
+	}
+	if n > MaxTxPayloadBytes {
+		n = MaxTxPayloadBytes
+	}
+	m.maxPayload = n
 }
 
 // Add verifies and enqueues a transaction.
@@ -48,6 +70,9 @@ func (m *Mempool) Add(t *Tx) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if len(t.Payload) > m.maxPayload {
+		return fmt.Errorf("%w: %d bytes (mempool max %d)", ErrTxPayloadTooLarge, len(t.Payload), m.maxPayload)
+	}
 	if len(m.pending) >= m.cap {
 		return ErrMempoolFull
 	}

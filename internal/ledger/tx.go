@@ -31,7 +31,16 @@ var (
 	ErrTxSenderMismatch = errors.New("ledger: sender does not match public key")
 	// ErrTxEmptyKind indicates a transaction without a kind.
 	ErrTxEmptyKind = errors.New("ledger: empty transaction kind")
+	// ErrTxPayloadTooLarge indicates a payload over the allowed size.
+	// Article bodies belong in the off-chain blob store (internal/blobstore),
+	// referenced by CID — not inline in transactions.
+	ErrTxPayloadTooLarge = errors.New("ledger: transaction payload too large")
 )
+
+// MaxTxPayloadBytes is the consensus-level hard cap on a transaction
+// payload, enforced by Verify and therefore by block validation on every
+// node. Mempools typically admit far less (see Mempool.SetMaxPayloadBytes).
+const MaxTxPayloadBytes = 1 << 20
 
 // TxID is the content hash of a transaction.
 type TxID [sha256.Size]byte
@@ -120,6 +129,9 @@ func (t *Tx) Sign(kp *keys.KeyPair) error {
 func (t *Tx) Verify() error {
 	if t.Kind == "" {
 		return ErrTxEmptyKind
+	}
+	if len(t.Payload) > MaxTxPayloadBytes {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrTxPayloadTooLarge, len(t.Payload), MaxTxPayloadBytes)
 	}
 	if len(t.Sig) == 0 || len(t.PubKey) == 0 {
 		return ErrTxUnsigned

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/blobstore"
 	"repro/internal/consensus"
 	"repro/internal/keys"
 	"repro/internal/ledger"
@@ -80,6 +81,25 @@ func NewCluster(n int, seed int64, cfg Config, tmo consensus.Timeouts) (*Cluster
 		c.Nodes = append(c.Nodes, node)
 		c.Replicas = append(c.Replicas, replica)
 		c.chainApps = append(c.chainApps, app)
+	}
+	// Off-chain bodies are stored only where the publishing client put
+	// them; replicas hydrating a committed CID fall back to their
+	// siblings' stores (the in-process equivalent of the blob retrieval
+	// protocol, which internal/blobstore exercises over the simnet). The
+	// Has guard keeps a miss from bouncing between empty stores.
+	for i := range c.Replicas {
+		self := i
+		c.Replicas[i].Blobs().SetFallback(func(cid blobstore.CID) ([]byte, bool) {
+			for j, other := range c.Replicas {
+				if j == self || !other.Blobs().Has(cid) {
+					continue
+				}
+				if b, err := other.Blobs().Get(cid); err == nil {
+					return b, true
+				}
+			}
+			return nil, false
+		})
 	}
 	return c, nil
 }

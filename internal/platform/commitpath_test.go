@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/blobstore"
 	"repro/internal/ledger"
 )
 
@@ -24,6 +25,16 @@ func TestCommitAndExternalBlocksProduceIdenticalState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The follower never saw the publish calls, so off-chain bodies must
+	// come from elsewhere — here the miner's store, standing in for the
+	// blob retrieval protocol.
+	follower.Blobs().SetFallback(func(cid blobstore.CID) ([]byte, bool) {
+		if !miner.Blobs().Has(cid) {
+			return nil, false
+		}
+		b, err := miner.Blobs().Get(cid)
+		return b, err == nil
+	})
 	if err := miner.Chain().Walk(0, func(b *ledger.Block) bool {
 		if err := follower.Chain().Append(b); err != nil {
 			t.Fatalf("append height %d: %v", b.Header.Height, err)

@@ -46,6 +46,12 @@ var ErrNotDurable = errors.New("platform: node has no data directory")
 // discards the partial state and falls back to the original full-replay
 // open, so a bad checkpoint can delay a restart but never corrupt one.
 func Open(dir string, cfg Config) (*Platform, func() error, error) {
+	// Off-chain article bodies persist beside the chain: the blob store
+	// loads before any replay or checkpoint restore, so hydration during
+	// either path reads the same bytes the previous run committed.
+	if cfg.BlobDir == "" {
+		cfg.BlobDir = filepath.Join(dir, "blobs")
+	}
 	log, err := store.OpenFileLog(filepath.Join(dir, chainLogName))
 	if err != nil {
 		return nil, nil, err

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/aidetect"
+	"repro/internal/blobstore"
 	"repro/internal/commitbus"
 	"repro/internal/contract"
 	"repro/internal/corpus"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/newsroom"
 	"repro/internal/ranking"
+	"repro/internal/search"
 	"repro/internal/supplychain"
 )
 
@@ -58,6 +60,22 @@ type Config struct {
 	// CreatorReward is minted to an item's creator when it resolves
 	// factual (Fig. 2's incentive for content creators; default 25).
 	CreatorReward uint64
+	// OffChainBodies routes Actor.PublishNews bodies through the blob
+	// store: the transaction carries only {CID, size}, and the body is
+	// content-addressed off-chain (the platform's in-process stand-in for
+	// the IPFS deployments of DClaims-style systems). DefaultConfig
+	// enables it; a zero Config keeps the legacy inline path.
+	OffChainBodies bool
+	// BlobChunkSize sets the blob store's chunk granularity (default
+	// blobstore.DefaultChunkSize).
+	BlobChunkSize int
+	// BlobDir, when non-empty, backs the blob store with files under this
+	// directory. Open derives it from the node's data directory.
+	BlobDir string
+	// MaxTxPayloadBytes tightens the mempool's admission-time payload cap
+	// (0 keeps ledger.DefaultMempoolPayloadBytes). The consensus hard cap
+	// ledger.MaxTxPayloadBytes applies regardless.
+	MaxTxPayloadBytes int
 }
 
 // defaultMempoolCapacity scales the pending pool to the block size: room
@@ -78,6 +96,8 @@ func DefaultConfig() Config {
 		MaxTxsPerBlock:   512,
 		Weights:          ranking.DefaultWeights(),
 		CreatorReward:    25,
+		OffChainBodies:   true,
+		BlobChunkSize:    blobstore.DefaultChunkSize,
 	}
 }
 
@@ -95,6 +115,11 @@ type Platform struct {
 	graph      *supplychain.Graph
 	classifier aidetect.TextClassifier
 	mediaDet   *aidetect.MediaDetector
+	// blobs holds article bodies off-chain, keyed by content id; the chain
+	// carries only CIDs (plus legacy inline bodies).
+	blobs *blobstore.Store
+	// searchIdx is the full-text index over committed article bodies.
+	searchIdx *search.Index
 
 	// bus is the event-sourced commit pipeline: every committed block is
 	// published once, and all derived indexes (fact index, supply-chain
@@ -146,17 +171,32 @@ func New(cfg Config) (*Platform, error) {
 		bus:       commitbus.New(),
 		receipts:  newReceiptStore(),
 		experts:   supplychain.NewExpertMiner(),
+		searchIdx: search.New(),
 		clock:     func() time.Time { return time.Unix(1562500000, 0).UTC() },
 	}
+	if cfg.BlobDir != "" {
+		blobs, err := blobstore.Open(cfg.BlobDir, cfg.BlobChunkSize)
+		if err != nil {
+			return nil, fmt.Errorf("platform: open blob store: %w", err)
+		}
+		p.blobs = blobs
+	} else {
+		p.blobs = blobstore.NewStore(cfg.BlobChunkSize)
+	}
 	p.pool = ledger.NewMempool(p.chain, cfg.MempoolCapacity)
+	if cfg.MaxTxPayloadBytes > 0 {
+		p.pool.SetMaxPayloadBytes(cfg.MaxTxPayloadBytes)
+	}
 	p.graph = supplychain.NewGraph(p.factIndex)
 	subs := []commitbus.Subscriber{
 		&contractState{engine: p.engine},
 		p.receipts,
 		&factdb.IndexSubscriber{Index: p.factIndex},
-		&supplychain.GraphSubscriber{Graph: p.graph},
+		&supplychain.GraphSubscriber{Graph: p.graph, Resolve: p.resolveBody},
 		p.experts,
 		&penaltyForwarder{p: p},
+		blobstore.NewsRefSubscriber(p.blobs),
+		&search.Subscriber{Index: p.searchIdx, Resolve: p.resolveBody},
 	}
 	for _, s := range subs {
 		if err := p.bus.Register(s); err != nil {
@@ -197,6 +237,52 @@ func (p *Platform) Graph() *supplychain.Graph { return p.graph }
 
 // FactIndex exposes the factual-database similarity index.
 func (p *Platform) FactIndex() *factdb.Index { return p.factIndex }
+
+// Blobs exposes the off-chain article body store.
+func (p *Platform) Blobs() *blobstore.Store { return p.blobs }
+
+// SearchIndex exposes the full-text article index.
+func (p *Platform) SearchIndex() *search.Index { return p.searchIdx }
+
+// Search returns the top-k committed articles matching the query.
+func (p *Platform) Search(q string, k int) []search.Result { return p.searchIdx.Query(q, k) }
+
+// resolveBody fetches an off-chain article body by content id. It backs
+// the graph and search subscribers' hydration and every read path that
+// needs the text behind a CID-only item.
+func (p *Platform) resolveBody(cid string) (string, error) {
+	c, err := blobstore.ParseCID(cid)
+	if err != nil {
+		return "", err
+	}
+	return p.blobs.GetString(c)
+}
+
+// hydrateItem fills in an off-chain body so callers can treat Text as
+// always present.
+func (p *Platform) hydrateItem(it *supplychain.Item) error {
+	if it.Text != "" || it.CID == "" {
+		return nil
+	}
+	text, err := p.resolveBody(it.CID)
+	if err != nil {
+		return fmt.Errorf("platform: resolve body of %s: %w", it.ID, err)
+	}
+	it.Text = text
+	return nil
+}
+
+// Item returns a committed news item with its body hydrated.
+func (p *Platform) Item(id string) (supplychain.Item, error) {
+	it, err := supplychain.GetItem(p.engine, p.authority.Address(), id)
+	if err != nil {
+		return supplychain.Item{}, err
+	}
+	if err := p.hydrateItem(&it); err != nil {
+		return supplychain.Item{}, err
+	}
+	return it, nil
+}
 
 // SetClock overrides the block timestamp source.
 func (p *Platform) SetClock(now func() time.Time) { p.clock = now }
@@ -339,7 +425,7 @@ type ItemRank struct {
 
 // RankItem scores a committed news item under the given mechanism.
 func (p *Platform) RankItem(itemID string, mech ranking.Mechanism) (ItemRank, error) {
-	it, err := supplychain.GetItem(p.engine, p.authority.Address(), itemID)
+	it, err := p.Item(itemID)
 	if err != nil {
 		return ItemRank{}, err
 	}
@@ -416,7 +502,7 @@ func (p *Platform) ResolveByRanking(itemID string) (ItemRank, error) {
 	crowd, hasCrowd := ranking.WeightedCrowdScore(votes)
 	certified := rank.Trace.Rooted && rank.Trace.Score >= p.cfg.PromoteThreshold
 	if rank.Factual && (certified || (hasCrowd && crowd >= p.cfg.PromoteThreshold)) {
-		it, err := supplychain.GetItem(p.engine, p.authority.Address(), itemID)
+		it, err := p.Item(itemID)
 		if err == nil && !p.factIndex.Contains(it.Text) {
 			// The stored certification score is whichever signal cleared
 			// the gate.
@@ -596,8 +682,21 @@ func (a *Actor) Register(name string, role identity.Role) error {
 }
 
 // PublishNews publishes a news item (optionally derived from parents).
+// With Config.OffChainBodies the body is written to the blob store and
+// only its content id and size enter the transaction payload; the commit
+// pipeline's subscribers hydrate the body wherever the text is needed.
 func (a *Actor) PublishNews(id string, topic corpus.Topic, text string, parents []string, op corpus.Op) error {
-	payload, err := supplychain.PublishPayload(id, topic, text, parents, op)
+	var payload []byte
+	var err error
+	if a.p.cfg.OffChainBodies && text != "" {
+		cid, perr := a.p.blobs.PutString(text)
+		if perr != nil {
+			return fmt.Errorf("platform: store body of %s: %w", id, perr)
+		}
+		payload, err = supplychain.PublishRefPayload(id, topic, string(cid), len(text), parents, op)
+	} else {
+		payload, err = supplychain.PublishPayload(id, topic, text, parents, op)
+	}
 	if err != nil {
 		return err
 	}
@@ -607,7 +706,7 @@ func (a *Actor) PublishNews(id string, topic corpus.Topic, text string, parents 
 
 // Relay republishes a committed item verbatim under a new id.
 func (a *Actor) Relay(newID, parentID string) error {
-	parent, err := supplychain.GetItem(a.p.engine, a.kp.Address(), parentID)
+	parent, err := a.p.Item(parentID)
 	if err != nil {
 		return err
 	}

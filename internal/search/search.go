@@ -1,0 +1,164 @@
+// Package search provides the platform's full-text article index: an
+// in-memory inverted index over committed news bodies with TF-IDF
+// ranking. The paper's platform lets readers look up news and its
+// trust evidence; with article bodies moved off-chain (see
+// internal/blobstore) the chain itself is no longer scannable for text,
+// so this index — fed from the commit bus like every other derived
+// view — is what makes committed articles findable again.
+//
+// The index is deterministic: ties in score break by document id, so
+// replicas that consumed the same commits answer queries identically.
+package search
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/corpus"
+)
+
+// Result is one ranked query hit.
+type Result struct {
+	ID    string  `json:"id"`
+	Topic string  `json:"topic"`
+	Score float64 `json:"score"`
+}
+
+// docInfo is the per-document bookkeeping the ranker needs.
+type docInfo struct {
+	Topic  string `json:"topic"`
+	Length int    `json:"length"` // token count, for TF normalisation
+}
+
+// Index is a thread-safe inverted index with TF-IDF scoring.
+type Index struct {
+	mu       sync.RWMutex
+	postings map[string]map[string]int // term -> doc id -> term frequency
+	docs     map[string]docInfo
+}
+
+// New creates an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[string]map[string]int),
+		docs:     make(map[string]docInfo),
+	}
+}
+
+// Add indexes one document. Re-adding an id is a no-op (documents are
+// immutable once committed).
+func (x *Index) Add(id, topic, text string) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.addLocked(id, topic, text)
+}
+
+func (x *Index) addLocked(id, topic, text string) {
+	if id == "" {
+		return
+	}
+	if _, dup := x.docs[id]; dup {
+		return
+	}
+	toks := corpus.Tokenize(text)
+	x.docs[id] = docInfo{Topic: topic, Length: len(toks)}
+	for _, tok := range toks {
+		post := x.postings[tok]
+		if post == nil {
+			post = make(map[string]int)
+			x.postings[tok] = post
+		}
+		post[id]++
+	}
+}
+
+// Docs returns the number of indexed documents.
+func (x *Index) Docs() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.docs)
+}
+
+// Terms returns the number of distinct indexed terms.
+func (x *Index) Terms() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.postings)
+}
+
+// Query returns the top-k documents for the query string, ranked by
+// TF-IDF: each query term contributes tf/|doc| * log(1 + N/df). k <= 0
+// means no limit.
+func (x *Index) Query(q string, k int) []Result {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	n := float64(len(x.docs))
+	scores := make(map[string]float64)
+	for _, tok := range corpus.Tokenize(q) {
+		post := x.postings[tok]
+		if len(post) == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(post)))
+		for id, tf := range post {
+			scores[id] += float64(tf) / float64(x.docs[id].Length) * idf
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for id, sc := range scores {
+		out = append(out, Result{ID: id, Topic: x.docs[id].Topic, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// indexSnapshot is the self-contained serialized index: postings and doc
+// table travel whole, so restoring needs no access to article bodies.
+type indexSnapshot struct {
+	Postings map[string]map[string]int `json:"postings"`
+	Docs     map[string]docInfo        `json:"docs"`
+}
+
+// snapshot captures the index state (callers hold no lock).
+func (x *Index) snapshot() indexSnapshot {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	snap := indexSnapshot{
+		Postings: make(map[string]map[string]int, len(x.postings)),
+		Docs:     make(map[string]docInfo, len(x.docs)),
+	}
+	for t, post := range x.postings {
+		cp := make(map[string]int, len(post))
+		for id, tf := range post {
+			cp[id] = tf
+		}
+		snap.Postings[t] = cp
+	}
+	for id, info := range x.docs {
+		snap.Docs[id] = info
+	}
+	return snap
+}
+
+// reset replaces the index state wholesale.
+func (x *Index) reset(snap indexSnapshot) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.postings = snap.Postings
+	if x.postings == nil {
+		x.postings = make(map[string]map[string]int)
+	}
+	x.docs = snap.Docs
+	if x.docs == nil {
+		x.docs = make(map[string]docInfo)
+	}
+}

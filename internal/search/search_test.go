@@ -1,0 +1,155 @@
+package search
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/commitbus"
+	"repro/internal/contract"
+	"repro/internal/supplychain"
+)
+
+func TestQueryRanksByTFIDF(t *testing.T) {
+	x := New()
+	x.Add("a", "econ", "the budget passed the budget committee budget")
+	x.Add("b", "econ", "the committee debated the schedule")
+	x.Add("c", "sport", "the match ended in a draw")
+
+	res := x.Query("budget committee", 0)
+	if len(res) != 2 {
+		t.Fatalf("hits = %d, want 2 (doc c matches neither term)", len(res))
+	}
+	if res[0].ID != "a" {
+		t.Fatalf("top hit = %s, want a (three budget mentions)", res[0].ID)
+	}
+	if res[0].Topic != "econ" {
+		t.Fatalf("topic = %s, want econ", res[0].Topic)
+	}
+	if res[0].Score <= res[1].Score {
+		t.Fatalf("scores not descending: %v", res)
+	}
+}
+
+func TestQueryTopKAndNoHits(t *testing.T) {
+	x := New()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		x.Add(id, "t", "shared words everywhere")
+	}
+	if res := x.Query("shared", 2); len(res) != 2 {
+		t.Fatalf("top-2 = %d hits", len(res))
+	}
+	if res := x.Query("zzz unknown terms", 5); len(res) != 0 {
+		t.Fatalf("no-hit query returned %v", res)
+	}
+	if res := x.Query("", 5); len(res) != 0 {
+		t.Fatalf("empty query returned %v", res)
+	}
+}
+
+func TestAddIsIdempotent(t *testing.T) {
+	x := New()
+	x.Add("a", "t", "one two three")
+	x.Add("a", "t", "one two three")
+	if x.Docs() != 1 {
+		t.Fatalf("Docs = %d, want 1", x.Docs())
+	}
+	res := x.Query("one", 0)
+	if len(res) != 1 || res[0].Score != x.Query("two", 0)[0].Score {
+		t.Fatalf("duplicate Add skewed term frequencies: %v", res)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	x := New()
+	x.Add("beta", "t", "identical text")
+	x.Add("alpha", "t", "identical text")
+	res := x.Query("identical", 0)
+	if len(res) != 2 || res[0].ID != "alpha" || res[1].ID != "beta" {
+		t.Fatalf("tie-break not by id: %v", res)
+	}
+}
+
+// publishEvent fabricates the commit event a published item produces.
+func publishEvent(t *testing.T, height uint64, it supplychain.Item) commitbus.CommitEvent {
+	t.Helper()
+	raw, err := json.Marshal(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := map[string]string{"id": it.ID, "topic": string(it.Topic)}
+	if it.CID != "" {
+		attrs["cid"] = it.CID
+	}
+	return commitbus.CommitEvent{
+		Height: height,
+		Receipts: []contract.Receipt{{
+			OK:     true,
+			Result: raw,
+			Events: []contract.Event{{Contract: supplychain.ContractName, Type: "published", Attrs: attrs}},
+		}},
+	}
+}
+
+func TestSubscriberIndexesInlineAndOffChain(t *testing.T) {
+	bodies := map[string]string{"cid1": "resolved off chain body about tariffs"}
+	sub := &Subscriber{
+		Index: New(),
+		Resolve: func(cid string) (string, error) {
+			b, ok := bodies[cid]
+			if !ok {
+				t.Fatalf("unexpected resolve %s", cid)
+			}
+			return b, nil
+		},
+	}
+	if err := sub.OnCommit(publishEvent(t, 1, supplychain.Item{ID: "in", Topic: "econ", Text: "inline body about budgets"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.OnCommit(publishEvent(t, 2, supplychain.Item{ID: "off", Topic: "econ", CID: "cid1", Size: 38})); err != nil {
+		t.Fatal(err)
+	}
+	if res := sub.Index.Query("tariffs", 0); len(res) != 1 || res[0].ID != "off" {
+		t.Fatalf("off-chain body not searchable: %v", res)
+	}
+	if res := sub.Index.Query("budgets", 0); len(res) != 1 || res[0].ID != "in" {
+		t.Fatalf("inline body not searchable: %v", res)
+	}
+}
+
+func TestSubscriberRequiresResolverForOffChain(t *testing.T) {
+	sub := &Subscriber{Index: New()}
+	err := sub.OnCommit(publishEvent(t, 1, supplychain.Item{ID: "off", Topic: "econ", CID: "cid1", Size: 10}))
+	if err == nil {
+		t.Fatal("off-chain item indexed without a resolver")
+	}
+}
+
+func TestSnapshotRestoreIsSelfContained(t *testing.T) {
+	sub := &Subscriber{Index: New()}
+	sub.Index.Add("a", "econ", "the budget passed")
+	sub.Index.Add("b", "sport", "the match ended")
+	blob, err := sub.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh subscriber with NO resolver: must not need one.
+	re := &Subscriber{Index: New()}
+	if err := re.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if re.Index.Docs() != 2 {
+		t.Fatalf("Docs after restore = %d", re.Index.Docs())
+	}
+	want := sub.Index.Query("budget", 0)
+	got := re.Index.Query("budget", 0)
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("restored query = %v, want %v", got, want)
+	}
+	if err := re.Restore(nil); err != nil {
+		t.Fatal(err)
+	}
+	if re.Index.Docs() != 0 {
+		t.Fatal("empty restore did not clear index")
+	}
+}

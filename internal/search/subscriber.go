@@ -1,0 +1,79 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/commitbus"
+	"repro/internal/supplychain"
+)
+
+// SubscriberName identifies the search-index subscriber on the commit
+// bus and keys its blob inside durable checkpoints.
+const SubscriberName = "search-index"
+
+// Subscriber keeps the full-text index in sync with the chain by
+// consuming published events from committed blocks. Off-chain bodies are
+// hydrated through Resolve at indexing time; the snapshot is
+// self-contained (postings travel whole), so restoring a checkpoint
+// never needs the blob store.
+type Subscriber struct {
+	Index *Index
+	// Resolve hydrates an off-chain body from its content id. Required
+	// once off-chain items appear; inline-only deployments may leave it
+	// nil.
+	Resolve func(cid string) (string, error)
+}
+
+var _ commitbus.Subscriber = (*Subscriber)(nil)
+
+// Name implements commitbus.Subscriber.
+func (s *Subscriber) Name() string { return SubscriberName }
+
+// OnCommit implements commitbus.Subscriber: every item published in the
+// block is indexed under its id and topic.
+func (s *Subscriber) OnCommit(ev commitbus.CommitEvent) error {
+	for _, rec := range ev.Receipts {
+		if !rec.OK {
+			continue
+		}
+		for _, e := range rec.Events {
+			if e.Contract != supplychain.ContractName || e.Type != "published" {
+				continue
+			}
+			var it supplychain.Item
+			if err := json.Unmarshal(rec.Result, &it); err != nil {
+				return fmt.Errorf("search: decode published result: %w", err)
+			}
+			text := it.Text
+			if text == "" && it.CID != "" {
+				if s.Resolve == nil {
+					return fmt.Errorf("search: item %s has off-chain body %s but no resolver", it.ID, it.CID)
+				}
+				var err error
+				if text, err = s.Resolve(it.CID); err != nil {
+					return fmt.Errorf("search: resolve body of %s: %w", it.ID, err)
+				}
+			}
+			s.Index.Add(it.ID, string(it.Topic), text)
+		}
+	}
+	return nil
+}
+
+// Snapshot implements commitbus.Subscriber.
+func (s *Subscriber) Snapshot() ([]byte, error) {
+	return json.Marshal(s.Index.snapshot())
+}
+
+// Restore implements commitbus.Subscriber.
+func (s *Subscriber) Restore(data []byte) error {
+	var snap indexSnapshot
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("search: decode index snapshot: %w", err)
+		}
+	}
+	s.Index.reset(snap)
+	return nil
+}

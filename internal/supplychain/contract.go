@@ -33,8 +33,14 @@ var (
 	ErrItemNotFound = errors.New("supplychain: item not found")
 	// ErrParentNotFound indicates a publish referencing a missing parent.
 	ErrParentNotFound = errors.New("supplychain: parent not found")
-	// ErrEmptyItem indicates a publish without id or text.
-	ErrEmptyItem = errors.New("supplychain: empty item id or text")
+	// ErrEmptyItem indicates a publish without id or body.
+	ErrEmptyItem = errors.New("supplychain: empty item id or body")
+	// ErrBodyConflict indicates a publish carrying both an inline text and
+	// an off-chain content id — the body must live in exactly one place.
+	ErrBodyConflict = errors.New("supplychain: both inline text and cid given")
+	// ErrBadBodyRef indicates an off-chain body reference with a
+	// non-positive size.
+	ErrBadBodyRef = errors.New("supplychain: off-chain body ref needs positive size")
 )
 
 // Item is one node of the news supply chain: a statement introduced by an
@@ -42,18 +48,23 @@ var (
 type Item struct {
 	ID      string       `json:"id"`
 	Topic   corpus.Topic `json:"topic"`
-	Text    string       `json:"text"`
-	Creator string       `json:"creator"` // hex address
+	Text    string       `json:"text,omitempty"` // inline body (legacy path)
+	CID     string       `json:"cid,omitempty"`  // off-chain body content id
+	Size    int          `json:"size,omitempty"` // off-chain body length in bytes
+	Creator string       `json:"creator"`        // hex address
 	Parents []string     `json:"parents,omitempty"`
 	Op      corpus.Op    `json:"op,omitempty"` // how it derives from parents
 	Height  uint64       `json:"height"`
 }
 
-// publishArgs is the payload of news.publish.
+// publishArgs is the payload of news.publish. The body travels either
+// inline in Text or off-chain as a CID+Size reference — exactly one.
 type publishArgs struct {
 	ID      string       `json:"id"`
 	Topic   corpus.Topic `json:"topic"`
-	Text    string       `json:"text"`
+	Text    string       `json:"text,omitempty"`
+	CID     string       `json:"cid,omitempty"`
+	Size    int          `json:"size,omitempty"`
 	Parents []string     `json:"parents,omitempty"`
 	Op      corpus.Op    `json:"op,omitempty"`
 }
@@ -85,8 +96,14 @@ func (c Contract) publish(ctx *contract.Context, args []byte) ([]byte, error) {
 	if err := json.Unmarshal(args, &in); err != nil {
 		return nil, fmt.Errorf("supplychain: publish args: %w", err)
 	}
-	if in.ID == "" || in.Text == "" {
+	if in.ID == "" || (in.Text == "" && in.CID == "") {
 		return nil, ErrEmptyItem
+	}
+	if in.Text != "" && in.CID != "" {
+		return nil, fmt.Errorf("%w: %s", ErrBodyConflict, in.ID)
+	}
+	if in.CID != "" && in.Size <= 0 {
+		return nil, fmt.Errorf("%w: %s", ErrBadBodyRef, in.ID)
 	}
 	key := "item/" + in.ID
 	if ok, err := ctx.Has(key); err != nil {
@@ -113,6 +130,8 @@ func (c Contract) publish(ctx *contract.Context, args []byte) ([]byte, error) {
 		ID:      in.ID,
 		Topic:   in.Topic,
 		Text:    in.Text,
+		CID:     in.CID,
+		Size:    in.Size,
 		Creator: ctx.Sender.String(),
 		Parents: in.Parents,
 		Op:      op,
@@ -127,6 +146,9 @@ func (c Contract) publish(ctx *contract.Context, args []byte) ([]byte, error) {
 	}
 	attrs := map[string]string{
 		"id": item.ID, "creator": item.Creator, "topic": string(item.Topic), "op": string(op),
+	}
+	if item.CID != "" {
+		attrs["cid"] = item.CID
 	}
 	if len(in.Parents) > 0 {
 		attrs["parent0"] = in.Parents[0]
@@ -165,10 +187,16 @@ func (c Contract) list(ctx *contract.Context) ([]byte, error) {
 	return json.Marshal(items)
 }
 
-// PublishPayload builds a news.publish payload. Parents may be empty for
-// an original item.
+// PublishPayload builds a news.publish payload with an inline body.
+// Parents may be empty for an original item.
 func PublishPayload(id string, topic corpus.Topic, text string, parents []string, op corpus.Op) ([]byte, error) {
 	return json.Marshal(publishArgs{ID: id, Topic: topic, Text: text, Parents: parents, Op: op})
+}
+
+// PublishRefPayload builds a news.publish payload whose body lives
+// off-chain: only the content id and size go into the transaction.
+func PublishRefPayload(id string, topic corpus.Topic, cid string, size int, parents []string, op corpus.Op) ([]byte, error) {
+	return json.Marshal(publishArgs{ID: id, Topic: topic, CID: cid, Size: size, Parents: parents, Op: op})
 }
 
 // GetItem queries one item through the engine.

@@ -21,6 +21,12 @@ const (
 // consuming published events from committed blocks.
 type GraphSubscriber struct {
 	Graph *Graph
+	// Resolve hydrates an off-chain body from its content id. Items that
+	// reference a CID are resolved before insertion so the graph's
+	// similarity and trace-back queries see the full text even though the
+	// chain carries only the reference. Required once off-chain items
+	// appear; inline-only deployments may leave it nil.
+	Resolve func(cid string) (string, error)
 }
 
 var _ commitbus.Subscriber = (*GraphSubscriber)(nil)
@@ -45,6 +51,16 @@ func (s *GraphSubscriber) OnCommit(ev commitbus.CommitEvent) error {
 			var it Item
 			if err := json.Unmarshal(rec.Result, &it); err != nil {
 				return fmt.Errorf("supplychain: decode published result: %w", err)
+			}
+			if it.Text == "" && it.CID != "" {
+				if s.Resolve == nil {
+					return fmt.Errorf("supplychain: item %s has off-chain body %s but no resolver", it.ID, it.CID)
+				}
+				text, err := s.Resolve(it.CID)
+				if err != nil {
+					return fmt.Errorf("supplychain: resolve body of %s: %w", it.ID, err)
+				}
+				it.Text = text
 			}
 			if err := s.Graph.AddItem(it); err != nil {
 				return err

@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench-reopen
+.PHONY: tier1 build vet test race race-hot bench-reopen
 
-tier1: build vet race
+tier1: build vet race-hot race
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fast-failing race pass over the concurrency-heavy packages (shared
+# instrument handles, gossip fan-out, blob retrieval) before the full
+# suite runs.
+race-hot:
+	$(GO) test -race -count=1 ./internal/telemetry/... ./internal/commitbus/... ./internal/gossip/... ./internal/blobstore/...
 
 # Reopen cost: full replay vs checkpoint restore (EXPERIMENTS.md E15b).
 bench-reopen:

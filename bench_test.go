@@ -215,6 +215,17 @@ func BenchmarkE16OffChainStorage(b *testing.B) {
 	}
 }
 
+func BenchmarkE17TelemetryOverhead(b *testing.B) {
+	cfg := experiments.DefaultE17()
+	cfg.Txs, cfg.Blobs, cfg.Reads, cfg.Rounds = 256, 8, 200, 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE17Telemetry(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkE10Batching(b *testing.B) {
 	cfg := experiments.E10cConfig{BatchSizes: []int{64}, TotalTxs: 512, Seed: 10}
 	b.ReportAllocs()

@@ -1,13 +1,17 @@
 // Command benchrunner regenerates every experiment table (E1-E12) from
 // DESIGN.md's index and prints them. Run with -quick for reduced sizes or
-// -only E5 to run a single experiment.
+// -only E5 to run a single experiment. With -json the same tables are
+// also written as machine-readable JSON (e.g. BENCH_3.json), so the perf
+// trajectory can be tracked per-PR without parsing the pretty tables.
 //
-//	go run ./cmd/benchrunner            # full sweep (a few minutes)
-//	go run ./cmd/benchrunner -quick     # reduced sizes (~30s)
-//	go run ./cmd/benchrunner -only E7   # one experiment
+//	go run ./cmd/benchrunner                     # full sweep (a few minutes)
+//	go run ./cmd/benchrunner -quick              # reduced sizes (~30s)
+//	go run ./cmd/benchrunner -only E7            # one experiment
+//	go run ./cmd/benchrunner -json BENCH_3.json  # tables + JSON dump
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +24,28 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced experiment sizes")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E5,E7)")
+	jsonPath := flag.String("json", "", "also write results as JSON to this file (e.g. BENCH_3.json)")
 	flag.Parse()
-	if err := run(*quick, *only); err != nil {
+	if err := run(*quick, *only, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
+}
+
+// jsonResult is one experiment table in the machine-readable dump.
+type jsonResult struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim,omitempty"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Seconds float64    `json:"seconds"`
+}
+
+// jsonDump is the top-level envelope of the -json file.
+type jsonDump struct {
+	Quick   bool         `json:"quick"`
+	Results []jsonResult `json:"results"`
 }
 
 type runner struct {
@@ -32,7 +53,7 @@ type runner struct {
 	fn func(quick bool) (*experiments.Table, error)
 }
 
-func run(quick bool, only string) error {
+func run(quick bool, only, jsonPath string) error {
 	want := map[string]bool{}
 	for _, id := range strings.Split(only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
@@ -171,7 +192,15 @@ func run(quick bool, only string) error {
 			}
 			return experiments.RunE16(cfg)
 		}},
+		{"E17", func(q bool) (*experiments.Table, error) {
+			cfg := experiments.DefaultE17()
+			if q {
+				cfg.Txs, cfg.Blobs, cfg.Reads, cfg.Rounds = 512, 16, 400, 2
+			}
+			return experiments.RunE17Telemetry(cfg)
+		}},
 	}
+	dump := jsonDump{Quick: quick, Results: []jsonResult{}}
 	for _, r := range runners {
 		if len(want) > 0 && !want[r.id] && !want[strings.TrimRight(r.id, "ABCW")] {
 			continue
@@ -181,8 +210,27 @@ func run(quick bool, only string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.id, err)
 		}
+		elapsed := time.Since(start)
 		tbl.Render(os.Stdout)
-		fmt.Printf("(%s completed in %v)\n", r.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n", r.id, elapsed.Round(time.Millisecond))
+		dump.Results = append(dump.Results, jsonResult{
+			ID:      tbl.ID,
+			Title:   tbl.Title,
+			Claim:   tbl.Claim,
+			Header:  tbl.Header,
+			Rows:    tbl.Rows,
+			Seconds: elapsed.Seconds(),
+		})
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(dump, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshal json dump: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, err)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", jsonPath, len(dump.Results))
 	}
 	return nil
 }

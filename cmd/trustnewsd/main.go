@@ -14,6 +14,8 @@
 //	curl localhost:8080/v1/commitbus
 //	curl localhost:8080/v1/facts
 //	curl localhost:8080/v1/experts?topic=politics
+//	curl localhost:8080/v1/metrics
+//	curl localhost:8080/v1/traces
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -28,6 +31,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/httpapi"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -37,19 +41,23 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory node)")
 	blobDir := flag.String("blob-dir", "", "off-chain article body store directory (default <data>/blobs for durable nodes, in-memory otherwise)")
 	ckptEvery := flag.Duration("checkpoint-interval", 5*time.Minute, "how often a durable node checkpoints derived state (0 disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it private)")
 	flag.Parse()
-	if err := run(*addr, *seedDemo, *corpusSeed, *dataDir, *blobDir, *ckptEvery); err != nil {
+	if err := run(*addr, *seedDemo, *corpusSeed, *dataDir, *blobDir, *ckptEvery, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "trustnewsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seedDemo bool, corpusSeed int64, dataDir, blobDir string, ckptEvery time.Duration) error {
+func run(addr string, seedDemo bool, corpusSeed int64, dataDir, blobDir string, ckptEvery time.Duration, pprofAddr string) error {
 	var (
 		p   *platform.Platform
 		err error
 	)
 	cfg := platform.DefaultConfig()
+	// The daemon always carries a live registry: metrics cost next to
+	// nothing and /v1/metrics is part of the serving surface.
+	cfg.Telemetry = telemetry.New()
 	if blobDir != "" {
 		if err := os.MkdirAll(blobDir, 0o755); err != nil {
 			return err
@@ -90,6 +98,9 @@ func run(addr string, seedDemo bool, corpusSeed int64, dataDir, blobDir string, 
 		}
 		log.Printf("seeded %d demo facts (root %s)", p.FactIndex().Len(), p.FactIndex().Root().Short())
 	}
+	if pprofAddr != "" {
+		go servePprof(pprofAddr)
+	}
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           httpapi.New(p, true),
@@ -97,6 +108,22 @@ func run(addr string, seedDemo bool, corpusSeed int64, dataDir, blobDir string, 
 	}
 	log.Printf("trustnewsd listening on %s (authority %s)", addr, p.Authority().Short())
 	return srv.ListenAndServe()
+}
+
+// servePprof exposes the net/http/pprof handlers on their own mux and
+// listener, so profiling never shares a port with the public API.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Printf("pprof listening on %s", addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Printf("pprof server: %v", err)
+	}
 }
 
 // checkpointLoop periodically snapshots the node's derived state so the

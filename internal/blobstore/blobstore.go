@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"repro/internal/merkle"
+	"repro/internal/telemetry"
 )
 
 // DefaultChunkSize is the chunk size used when a Store is created with
@@ -184,6 +185,39 @@ type Store struct {
 	// hold (e.g. a cluster replica reading a sibling's blob, or a network
 	// fetcher). Fetched bodies are verified and cached locally.
 	fallback func(CID) ([]byte, bool)
+
+	tm storeMetrics
+}
+
+// storeMetrics holds the store's cached instrument handles (nil until
+// Instrument; every method is nil-safe).
+type storeMetrics struct {
+	puts        *telemetry.Counter
+	gets        *telemetry.Counter
+	corruptions *telemetry.Counter
+	fallbacks   *telemetry.Counter
+	gcSweeps    *telemetry.Counter
+	gcCollected *telemetry.Counter
+	blobs       *telemetry.Gauge
+	chunks      *telemetry.Gauge
+}
+
+// Instrument registers the store's metrics on reg (nil disables).
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tm = storeMetrics{
+		puts:        reg.Counter("trustnews_blobstore_puts_total", "Blob store writes (including dedup no-ops)."),
+		gets:        reg.Counter("trustnews_blobstore_gets_total", "Blob store reads."),
+		corruptions: reg.Counter("trustnews_blobstore_corruptions_total", "Reads whose bytes failed CID verification."),
+		fallbacks:   reg.Counter("trustnews_blobstore_fallback_hits_total", "Missing blobs recovered through the fallback resolver."),
+		gcSweeps:    reg.Counter("trustnews_blobstore_gc_sweeps_total", "Garbage-collection sweeps."),
+		gcCollected: reg.Counter("trustnews_blobstore_gc_collected_total", "Blobs removed by garbage collection."),
+		blobs:       reg.Gauge("trustnews_blobstore_blobs", "Blobs currently held."),
+		chunks:      reg.Gauge("trustnews_blobstore_chunks", "Unique chunks currently held."),
+	}
+	s.tm.blobs.Set(float64(len(s.blobs)))
+	s.tm.chunks.Set(float64(len(s.chunks)))
 }
 
 // NewStore creates an in-memory store. chunkSize 0 means DefaultChunkSize.
@@ -247,6 +281,7 @@ func (s *Store) Put(data []byte) (CID, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.tm.puts.Inc()
 	if _, ok := s.blobs[cid]; ok {
 		return cid, nil
 	}
@@ -262,6 +297,8 @@ func (s *Store) Put(data []byte) (CID, error) {
 		s.chunkRefs[h]++
 	}
 	s.blobs[cid] = m
+	s.tm.blobs.Set(float64(len(s.blobs)))
+	s.tm.chunks.Set(float64(len(s.chunks)))
 	if err := s.persistManifest(m); err != nil {
 		return "", err
 	}
@@ -312,11 +349,14 @@ func (s *Store) Get(cid CID) ([]byte, error) {
 		}
 	}
 	fallback := s.fallback
+	tm := s.tm
 	s.mu.RUnlock()
 
+	tm.gets.Inc()
 	if ok {
 		got, err := ComputeCID(body, m.ChunkSize)
 		if err != nil || got != cid {
+			tm.corruptions.Inc()
 			return nil, fmt.Errorf("%w: %s", ErrCorrupt, cid.Short())
 		}
 		return body, nil
@@ -326,6 +366,7 @@ func (s *Store) Get(cid CID) ([]byte, error) {
 			if got, err := ComputeCID(data, s.chunkSize); err == nil && got == cid {
 				// Cache the verified body locally for future reads.
 				if _, err := s.Put(data); err == nil {
+					tm.fallbacks.Inc()
 					return data, nil
 				}
 			}
@@ -458,6 +499,10 @@ func (s *Store) GC() []CID {
 			}
 		}
 	}
+	s.tm.gcSweeps.Inc()
+	s.tm.gcCollected.Add(uint64(len(victims)))
+	s.tm.blobs.Set(float64(len(s.blobs)))
+	s.tm.chunks.Set(float64(len(s.chunks)))
 	return victims
 }
 

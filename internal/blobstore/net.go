@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/merkle"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // Simnet message kinds of the blob retrieval protocol. A node missing a
@@ -86,6 +87,7 @@ type Peer struct {
 	manifests map[uint64]func(manifestResp)
 	chunks    map[uint64]func(chunkResp)
 	stats     FetchStats
+	tm        peerMetrics
 
 	// TamperChunk, when set, rewrites chunk bytes before they are served —
 	// the fault-injection hook the adversarial retrieval tests use to model
@@ -108,6 +110,35 @@ func NewPeer(net *simnet.Network, id simnet.NodeID, store *Store, cfg FetchConfi
 		cfg:       cfg,
 		manifests: make(map[uint64]func(manifestResp)),
 		chunks:    make(map[uint64]func(chunkResp)),
+	}
+}
+
+// peerMetrics holds the peer's cached instrument handles (nil until
+// Instrument; every method is nil-safe). The peer runs inside the simnet
+// event loop, so no extra synchronization is needed.
+type peerMetrics struct {
+	fetchOK   *telemetry.Counter
+	fetchFail *telemetry.Counter
+	fetchSec  *telemetry.Histogram
+	retries   *telemetry.Counter
+	failovers *telemetry.Counter
+	corrupt   *telemetry.Counter
+	served    *telemetry.Counter
+}
+
+// Instrument registers the peer's retrieval metrics on reg (nil
+// disables). Several peers may share one registry; the counters then
+// aggregate across them.
+func (p *Peer) Instrument(reg *telemetry.Registry) {
+	results := reg.CounterVec("trustnews_blobstore_fetches_total", "Blob fetches over the retrieval protocol, by result.", "result")
+	p.tm = peerMetrics{
+		fetchOK:   results.With("ok"),
+		fetchFail: results.With("fail"),
+		fetchSec:  reg.Histogram("trustnews_blobstore_fetch_seconds", "Virtual time from fetch start to completion.", nil),
+		retries:   reg.Counter("trustnews_blobstore_fetch_retries_total", "Per-request timeouts that triggered a retry or failover."),
+		failovers: reg.Counter("trustnews_blobstore_fetch_failovers_total", "Requests abandoned on one peer and retried on the next."),
+		corrupt:   reg.Counter("trustnews_blobstore_fetch_corrupt_chunks_total", "Chunks served whose bytes failed hash verification."),
+		served:    reg.Counter("trustnews_blobstore_chunks_served_total", "Chunk requests answered from the local store."),
 	}
 }
 
@@ -154,6 +185,7 @@ func (p *Peer) Handle(m simnet.Message) {
 			}
 			resp.Found = true
 			resp.Data = data
+			p.tm.served.Inc()
 		}
 		_ = p.net.Send(p.id, m.From, KindChunkResp, resp)
 	case KindManifestResp:
@@ -194,16 +226,19 @@ func (p *Peer) Fetch(cid CID, peers []simnet.NodeID, onDone func(body []byte, er
 	if p.store.Has(cid) {
 		if body, err := p.store.Get(cid); err == nil {
 			p.stats.Fetched++
+			p.tm.fetchOK.Inc()
+			p.tm.fetchSec.Observe(0)
 			onDone(body, nil)
 			return
 		}
 	}
 	if len(peers) == 0 {
 		p.stats.Failed++
+		p.tm.fetchFail.Inc()
 		onDone(nil, fmt.Errorf("%w: no peers", ErrFetchFailed))
 		return
 	}
-	f := &fetchState{p: p, cid: cid, peers: peers, onDone: onDone}
+	f := &fetchState{p: p, cid: cid, peers: peers, onDone: onDone, start: p.net.Now()}
 	f.requestManifest(0, 0)
 }
 
@@ -213,6 +248,7 @@ type fetchState struct {
 	cid    CID
 	peers  []simnet.NodeID
 	onDone func([]byte, error)
+	start  time.Duration
 
 	manifest *Manifest
 	chunks   map[ChunkHash][]byte
@@ -225,10 +261,13 @@ func (f *fetchState) finish(body []byte, err error) {
 		return
 	}
 	f.done = true
+	f.p.tm.fetchSec.Observe((f.p.net.Now() - f.start).Seconds())
 	if err != nil {
 		f.p.stats.Failed++
+		f.p.tm.fetchFail.Inc()
 	} else {
 		f.p.stats.Fetched++
+		f.p.tm.fetchOK.Inc()
 	}
 	f.onDone(body, err)
 }
@@ -256,6 +295,7 @@ func (f *fetchState) requestManifest(peerIdx, attempt int) {
 		if !resp.Found || m.Verify() != nil {
 			// Peer lacks the blob or served a forged manifest: fail over.
 			p.stats.Failovers++
+			p.tm.failovers.Inc()
 			f.requestManifest(peerIdx+1, 0)
 			return
 		}
@@ -273,10 +313,12 @@ func (f *fetchState) requestManifest(peerIdx, attempt int) {
 		}
 		delete(p.manifests, id)
 		p.stats.Timeouts++
+		p.tm.retries.Inc()
 		if attempt+1 < p.cfg.Retries {
 			f.requestManifest(peerIdx, attempt+1)
 		} else {
 			p.stats.Failovers++
+			p.tm.failovers.Inc()
 			f.requestManifest(peerIdx+1, 0)
 		}
 	})
@@ -333,8 +375,10 @@ func (f *fetchState) requestChunk(h ChunkHash, preferred, cur, attempt int) {
 			// Served bytes do not hash to the requested chunk: a corrupted
 			// or malicious peer, detected before anything is stored.
 			p.stats.CorruptChunks++
+			p.tm.corrupt.Inc()
 		}
 		p.stats.Failovers++
+		p.tm.failovers.Inc()
 		f.requestChunk(h, cur+1, cur+1, 0)
 	}
 	_ = p.net.Send(p.id, f.peers[cur], KindChunkReq, chunkReq{ID: id, Hash: h})
@@ -344,10 +388,12 @@ func (f *fetchState) requestChunk(h ChunkHash, preferred, cur, attempt int) {
 		}
 		delete(p.chunks, id)
 		p.stats.Timeouts++
+		p.tm.retries.Inc()
 		if attempt+1 < p.cfg.Retries {
 			f.requestChunk(h, preferred, cur, attempt+1)
 		} else {
 			p.stats.Failovers++
+			p.tm.failovers.Inc()
 			f.requestChunk(h, cur+1, cur+1, 0)
 		}
 	})

@@ -21,9 +21,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/contract"
 	"repro/internal/ledger"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by this package.
@@ -82,13 +84,22 @@ type SubscriberStats struct {
 	LastError string `json:"lastError,omitempty"`
 }
 
-// entry is one registered subscriber plus its accounting.
+// entry is one registered subscriber plus its accounting. The registry
+// instruments (nil until Bus.Instrument) carry the same counts as the
+// plain fields — the fields feed the JSON Stats API, the instruments
+// feed /v1/metrics — plus the per-subscriber handle-time histogram that
+// only exists registry-side.
 type entry struct {
 	sub        Subscriber
 	delivered  uint64
 	errors     uint64
 	lastHeight uint64
 	lastErr    string
+
+	tmDelivered *telemetry.Counter
+	tmErrors    *telemetry.Counter
+	tmHandleSec *telemetry.Histogram
+	tmLag       *telemetry.Gauge
 }
 
 // Bus fans committed blocks out to registered subscribers.
@@ -103,11 +114,47 @@ type Bus struct {
 	// primed reports whether head is meaningful (at least one publish or
 	// restore happened); it disambiguates height 0.
 	primed bool
+
+	// Registry-backed accounting (see Instrument).
+	tmEvents    *telemetry.Counter
+	tmDelivered *telemetry.CounterVec
+	tmErrors    *telemetry.CounterVec
+	tmHandleSec *telemetry.HistogramVec
+	tmLag       *telemetry.GaugeVec
 }
 
 // New creates an empty bus.
 func New() *Bus {
 	return &Bus{byName: make(map[string]*entry)}
+}
+
+// Instrument registers the bus's per-subscriber delivery accounting on
+// reg (nil disables): delivered/error counters, the handle-time
+// histogram, and a lag gauge, all labeled by subscriber name. Call
+// before or after Register, in either order, but before the first
+// Publish.
+func (b *Bus) Instrument(reg *telemetry.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tmEvents = reg.Counter("trustnews_commitbus_events_total", "Commit events published to the bus.")
+	b.tmDelivered = reg.CounterVec("trustnews_commitbus_delivered_total", "Commit events successfully applied, by subscriber.", "subscriber")
+	b.tmErrors = reg.CounterVec("trustnews_commitbus_errors_total", "Failed OnCommit calls, by subscriber.", "subscriber")
+	b.tmHandleSec = reg.HistogramVec("trustnews_commitbus_handle_seconds", "OnCommit handle time, by subscriber.", nil, "subscriber")
+	b.tmLag = reg.GaugeVec("trustnews_commitbus_lag", "Published events not yet successfully applied, by subscriber.", "subscriber")
+	for _, e := range b.subs {
+		b.bindEntryMetrics(e)
+	}
+}
+
+// bindEntryMetrics caches one subscriber's instrument handles so the
+// Publish hot path never touches the labeled-family maps. Caller holds
+// b.mu; a no-op before Instrument.
+func (b *Bus) bindEntryMetrics(e *entry) {
+	name := e.sub.Name()
+	e.tmDelivered = b.tmDelivered.With(name)
+	e.tmErrors = b.tmErrors.With(name)
+	e.tmHandleSec = b.tmHandleSec.With(name)
+	e.tmLag = b.tmLag.With(name)
 }
 
 // Register adds a subscriber. Delivery order follows registration order.
@@ -118,6 +165,7 @@ func (b *Bus) Register(s Subscriber) error {
 		return fmt.Errorf("%w: %s", ErrDuplicateSubscriber, s.Name())
 	}
 	e := &entry{sub: s}
+	b.bindEntryMetrics(e)
 	b.subs = append(b.subs, e)
 	b.byName[s.Name()] = e
 	return nil
@@ -151,16 +199,29 @@ func (b *Bus) Publish(ev CommitEvent) error {
 	b.events++
 	b.head = ev.Height
 	b.primed = true
+	b.tmEvents.Inc()
 	var errs []error
 	for _, e := range b.subs {
-		if err := e.sub.OnCommit(ev); err != nil {
+		var err error
+		if e.tmHandleSec != nil {
+			start := time.Now()
+			err = e.sub.OnCommit(ev)
+			e.tmHandleSec.Observe(time.Since(start).Seconds())
+		} else {
+			err = e.sub.OnCommit(ev)
+		}
+		if err != nil {
 			e.errors++
 			e.lastErr = err.Error()
+			e.tmErrors.Inc()
+			e.tmLag.Set(float64(b.events - e.delivered))
 			errs = append(errs, fmt.Errorf("commitbus: %s at height %d: %w", e.sub.Name(), ev.Height, err))
 			continue
 		}
 		e.delivered++
 		e.lastHeight = ev.Height
+		e.tmDelivered.Inc()
+		e.tmLag.Set(float64(b.events - e.delivered))
 	}
 	return errors.Join(errs...)
 }
@@ -236,6 +297,7 @@ func (b *Bus) Restore(blobs map[string][]byte, height uint64) error {
 	}
 	for _, e := range b.subs {
 		e.delivered, e.errors, e.lastErr = 0, 0, ""
+		e.tmLag.Set(0)
 		if height > 0 {
 			e.lastHeight = height - 1
 		} else {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/ledger"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // ChainApp is a ready-made App over a ledger chain and mempool, used by the
@@ -112,6 +113,18 @@ func NewCluster(n int, seed int64, tmo Timeouts) (*Cluster, error) {
 		c.Apps = append(c.Apps, app)
 	}
 	return c, nil
+}
+
+// Instrument registers every node's consensus metrics and every app's
+// mempool metrics on reg (nil disables). The series aggregate across
+// validators: one shared registry observes the whole cluster.
+func (c *Cluster) Instrument(reg *telemetry.Registry) {
+	for _, n := range c.Nodes {
+		n.Instrument(reg)
+	}
+	for _, app := range c.Apps {
+		app.Pool.Instrument(reg)
+	}
 }
 
 // Start launches every node.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/keys"
 	"repro/internal/ledger"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // App is the application driven by consensus: it builds blocks to propose,
@@ -90,6 +91,42 @@ type Node struct {
 
 	metrics Metrics
 	stopped bool
+
+	tm consensusMetrics
+	// roundStartAt is the virtual time the current round began; valid
+	// once roundStarted is set. It feeds the round-duration histogram.
+	roundStartAt time.Duration
+	roundStarted bool
+}
+
+// consensusMetrics holds the node's cached instrument handles (nil until
+// Instrument; every method is nil-safe). A cluster shares one registry,
+// so the series aggregate across validators.
+type consensusMetrics struct {
+	rounds        *telemetry.Counter
+	commits       *telemetry.Counter
+	votePrevote   *telemetry.Counter
+	votePrecommit *telemetry.Counter
+	propRejected  *telemetry.CounterVec
+	equivocations *telemetry.Counter
+	roundSec      *telemetry.Histogram
+	heightSec     *telemetry.Histogram
+}
+
+// Instrument registers the node's consensus metrics on reg (nil
+// disables). Durations are measured in simnet virtual time.
+func (n *Node) Instrument(reg *telemetry.Registry) {
+	votes := reg.CounterVec("trustnews_consensus_votes_total", "Valid votes counted, by type.", "type")
+	n.tm = consensusMetrics{
+		rounds:        reg.Counter("trustnews_consensus_rounds_total", "Consensus rounds entered across validators."),
+		commits:       reg.Counter("trustnews_consensus_commits_total", "Blocks committed across validators."),
+		votePrevote:   votes.With("prevote"),
+		votePrecommit: votes.With("precommit"),
+		propRejected:  reg.CounterVec("trustnews_consensus_proposals_rejected_total", "Proposals dropped before acceptance, by reason.", "reason"),
+		equivocations: reg.Counter("trustnews_consensus_equivocations_total", "Conflicting votes detected from one validator."),
+		roundSec:      reg.Histogram("trustnews_consensus_round_seconds", "Virtual-time duration of each consensus round.", nil),
+		heightSec:     reg.Histogram("trustnews_consensus_height_seconds", "Virtual time from height start to commit.", nil),
+	}
 }
 
 // KindSyncRequest asks a peer for the commit certificate of one height.
@@ -143,6 +180,13 @@ func (n *Node) Start() {
 }
 
 func (n *Node) startRound(round int) {
+	now := n.net.Now()
+	if n.roundStarted {
+		n.tm.roundSec.Observe((now - n.roundStartAt).Seconds())
+	}
+	n.roundStartAt = now
+	n.roundStarted = true
+	n.tm.rounds.Inc()
 	n.round = round
 	n.step = StepPropose
 	n.metrics.Rounds++
@@ -288,12 +332,15 @@ func (n *Node) Handle(m simnet.Message) {
 
 func (n *Node) onProposal(p *Proposal) {
 	if p.Height != n.height {
+		n.tm.propRejected.With("stale_height").Inc()
 		return
 	}
 	if VerifyProposal(p, n.set) != nil {
+		n.tm.propRejected.With("bad_signature").Inc()
 		return
 	}
 	if n.set.Proposer(p.Height, p.Round).Addr != p.Proposer {
+		n.tm.propRejected.With("wrong_proposer").Inc()
 		return // not the legitimate proposer for that round
 	}
 	rounds, ok := n.proposals[p.Height]
@@ -302,6 +349,7 @@ func (n *Node) onProposal(p *Proposal) {
 		n.proposals[p.Height] = rounds
 	}
 	if _, dup := rounds[p.Round]; dup {
+		n.tm.propRejected.With("duplicate").Inc()
 		return
 	}
 	rounds[p.Round] = p
@@ -400,7 +448,13 @@ func (n *Node) onVote(v Vote) {
 	}
 	if err := vs.add(v, val.Power); err != nil {
 		n.metrics.Equivocations++
+		n.tm.equivocations.Inc()
 		return
+	}
+	if v.Type == VotePrevote {
+		n.tm.votePrevote.Inc()
+	} else {
+		n.tm.votePrecommit.Inc()
 	}
 	n.recheckQuorums()
 }
@@ -475,6 +529,8 @@ func (n *Node) commit(b *ledger.Block, quorum []Vote) {
 	}
 	n.metrics.Committed++
 	now := n.net.Now()
+	n.tm.commits.Inc()
+	n.tm.heightSec.Observe((now - n.metrics.lastHeightAt).Seconds())
 	n.metrics.CommitLatency += now - n.metrics.lastHeightAt
 	n.metrics.lastHeightAt = now
 
@@ -529,6 +585,8 @@ func (n *Node) onCommit(c *Commit) {
 	n.certs[c.Height] = c
 	n.metrics.Committed++
 	now := n.net.Now()
+	n.tm.commits.Inc()
+	n.tm.heightSec.Observe((now - n.metrics.lastHeightAt).Seconds())
 	n.metrics.CommitLatency += now - n.metrics.lastHeightAt
 	n.metrics.lastHeightAt = now
 	n.advanceHeight()

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/blobstore"
+	"repro/internal/corpus"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/platform"
+	"repro/internal/supplychain"
+	"repro/internal/telemetry"
+)
+
+// E17Config sizes the telemetry-overhead measurement.
+type E17Config struct {
+	// Txs is the number of pre-signed transactions committed per mode.
+	Txs int
+	// Senders spreads the nonce chains so batching is not serialized.
+	Senders int
+	// Blobs and BlobKB size the retrieval corpus; Reads is the number of
+	// verified Get calls timed per mode.
+	Blobs  int
+	BlobKB int
+	Reads  int
+	// Rounds repeats each cell, keeping the best run (least scheduler
+	// noise).
+	Rounds int
+}
+
+// DefaultE17 returns the standard configuration.
+func DefaultE17() E17Config {
+	return E17Config{Txs: 2048, Senders: 64, Blobs: 48, BlobKB: 32, Reads: 1500, Rounds: 3}
+}
+
+// e17Mode is one telemetry configuration under test.
+type e17Mode struct {
+	name string
+	// reg builds the registry for the platform (nil = telemetry off: all
+	// instruments are nil and each site costs one branch).
+	reg func() *telemetry.Registry
+	// scrape renders the exposition once per committed block, modeling a
+	// very aggressive Prometheus scraper.
+	scrape bool
+}
+
+// RunE17Telemetry measures what the metrics registry costs on the two
+// hottest paths: standalone commit throughput and verified blob reads.
+// The paper's platform must be a "high performance blockchain network"
+// (§VII); observability that taxed the hot paths would undercut that, so
+// the acceptance bar is <=5% commit-throughput overhead with telemetry
+// enabled.
+func RunE17Telemetry(cfg E17Config) (*Table, error) {
+	t := &Table{
+		ID:     "E17",
+		Title:  "Telemetry overhead on hot paths",
+		Claim:  "instrumentation is affordable: <=5% commit-throughput cost when enabled",
+		Header: []string{"mode", "commit_tx_per_s", "commit_overhead_pct", "blob_get_us", "blob_overhead_pct"},
+	}
+	modes := []e17Mode{
+		{name: "off", reg: func() *telemetry.Registry { return nil }},
+		{name: "enabled", reg: telemetry.New},
+		{name: "enabled+scrape", reg: telemetry.New, scrape: true},
+	}
+	var baseTxPerSec, baseGetUs float64
+	for _, m := range modes {
+		txPerSec, err := e17CommitThroughput(cfg, m)
+		if err != nil {
+			return nil, err
+		}
+		getUs, err := e17BlobReadLatency(cfg, m)
+		if err != nil {
+			return nil, err
+		}
+		if m.name == "off" {
+			baseTxPerSec, baseGetUs = txPerSec, getUs
+		}
+		t.AddRow(m.name,
+			f1(txPerSec),
+			f1(100*(baseTxPerSec-txPerSec)/baseTxPerSec),
+			f2(getUs),
+			f1(100*(getUs-baseGetUs)/baseGetUs))
+	}
+	return t, nil
+}
+
+// e17CommitThroughput times the standalone commit loop over a pre-signed
+// workload, best of cfg.Rounds.
+func e17CommitThroughput(cfg E17Config, m e17Mode) (float64, error) {
+	best := time.Duration(0)
+	for round := 0; round < cfg.Rounds; round++ {
+		pcfg := platform.DefaultConfig()
+		pcfg.Telemetry = m.reg()
+		p, err := platform.New(pcfg)
+		if err != nil {
+			return 0, err
+		}
+		senders := make([]*keys.KeyPair, cfg.Senders)
+		nonces := make([]uint64, len(senders))
+		for i := range senders {
+			senders[i] = keys.FromSeed([]byte("e17-" + strconv.Itoa(i)))
+		}
+		for i := 0; i < cfg.Txs; i++ {
+			s := i % len(senders)
+			payload, err := supplychain.PublishPayload(
+				"e17-item"+strconv.Itoa(i), corpus.TopicPolitics,
+				"telemetry overhead statement number "+strconv.Itoa(i), nil, "")
+			if err != nil {
+				return 0, err
+			}
+			tx, err := ledger.NewTx(senders[s], nonces[s], "news.publish", payload)
+			if err != nil {
+				return 0, err
+			}
+			nonces[s]++
+			if err := p.Submit(tx); err != nil {
+				return 0, err
+			}
+		}
+		var sink strings.Builder
+		start := time.Now()
+		for {
+			blk, _, err := p.Commit()
+			if err != nil {
+				return 0, err
+			}
+			if blk == nil {
+				break
+			}
+			if m.scrape {
+				sink.Reset()
+				if err := p.Telemetry().WritePrometheus(&sink); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if elapsed := time.Since(start); best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return float64(cfg.Txs) / best.Seconds(), nil
+}
+
+// e17BlobReadLatency times verified chunk-tree reads from an in-memory
+// store, best of cfg.Rounds. Every Get re-verifies the chunks against
+// the CID root, so this is the integrity-checking hot path the retrieval
+// protocol and /v1/blobs sit on.
+func e17BlobReadLatency(cfg E17Config, m e17Mode) (float64, error) {
+	best := time.Duration(0)
+	for round := 0; round < cfg.Rounds; round++ {
+		store := blobstore.NewStore(0)
+		store.Instrument(m.reg())
+		cids := make([]blobstore.CID, cfg.Blobs)
+		for i := range cids {
+			body := strings.Repeat(fmt.Sprintf("blob %03d payload ", i), cfg.BlobKB*1024/18+1)
+			cid, err := store.PutString(body)
+			if err != nil {
+				return 0, err
+			}
+			cids[i] = cid
+		}
+		start := time.Now()
+		for i := 0; i < cfg.Reads; i++ {
+			if _, err := store.Get(cids[i%len(cids)]); err != nil {
+				return 0, err
+			}
+		}
+		if elapsed := time.Since(start); best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return float64(best.Microseconds()) / float64(cfg.Reads), nil
+}
+
+// f2 formats a float at 2 decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

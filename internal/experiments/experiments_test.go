@@ -411,3 +411,29 @@ func TestE10BatchingAmortizes(t *testing.T) {
 		t.Fatalf("block counts wrong: %v", tbl.Rows)
 	}
 }
+
+func TestE17TelemetryOverheadSmall(t *testing.T) {
+	cfg := DefaultE17()
+	cfg.Txs, cfg.Blobs, cfg.Reads, cfg.Rounds = 512, 16, 400, 2
+	tbl, err := RunE17Telemetry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows=%d want 3 (off/enabled/enabled+scrape)", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		if tps := cell(t, tbl, i, 1); tps <= 0 {
+			t.Fatalf("%s: commit throughput %.1f", row[0], tps)
+		}
+		if us := cell(t, tbl, i, 3); us <= 0 {
+			t.Fatalf("%s: blob read latency %.2f", row[0], us)
+		}
+	}
+	// The enabled registry must stay cheap. EXPERIMENTS.md records the
+	// full-size run (~0%); the bound here is loose so a noisy CI core
+	// cannot flake the directional assertion.
+	if over := cell(t, tbl, 1, 2); over > 15 {
+		t.Fatalf("enabled telemetry costs %.1f%% commit throughput; want ~0", over)
+	}
+}

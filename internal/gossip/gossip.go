@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // MessageKind is the simnet message kind used by gossip traffic.
@@ -75,6 +76,32 @@ type Mesh struct {
 	// counters
 	firstSeen map[string]time.Duration
 	reach     map[string]int
+	tm        gossipMetrics
+}
+
+// gossipMetrics holds the mesh's cached instrument handles (nil until
+// Instrument; every method is nil-safe).
+type gossipMetrics struct {
+	delivered *telemetry.Counter
+	relayed   *telemetry.Counter
+	dedup     *telemetry.Counter
+	spreadSec *telemetry.Histogram
+	hops      *telemetry.Histogram
+	pulls     *telemetry.Counter
+}
+
+// Instrument registers the mesh's metrics on reg (nil disables).
+func (g *Mesh) Instrument(reg *telemetry.Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tm = gossipMetrics{
+		delivered: reg.Counter("trustnews_gossip_delivered_total", "First-time envelope deliveries across all nodes."),
+		relayed:   reg.Counter("trustnews_gossip_relayed_total", "Envelope copies forwarded to peers."),
+		dedup:     reg.Counter("trustnews_gossip_dedup_hits_total", "Envelope copies dropped as already seen."),
+		spreadSec: reg.Histogram("trustnews_gossip_spread_seconds", "Virtual time from first publish to each node's delivery.", nil),
+		hops:      reg.Histogram("trustnews_gossip_hops", "Hop count at delivery.", []float64{0, 1, 2, 3, 4, 6, 8, 12, 16}),
+		pulls:     reg.Counter("trustnews_gossip_antientropy_pulls_total", "Envelopes requested through anti-entropy repair."),
+	}
 }
 
 // New creates a mesh over the given network. deliver is invoked exactly once
@@ -152,6 +179,7 @@ func (g *Mesh) Publish(origin simnet.NodeID, env Envelope) error {
 func (g *Mesh) receive(node, from simnet.NodeID, env Envelope) {
 	g.mu.Lock()
 	if g.seen[node][env.ID] {
+		g.tm.dedup.Inc()
 		g.mu.Unlock()
 		return
 	}
@@ -161,6 +189,9 @@ func (g *Mesh) receive(node, from simnet.NodeID, env Envelope) {
 		g.firstSeen[env.ID] = g.net.Now()
 	}
 	g.reach[env.ID]++
+	g.tm.delivered.Inc()
+	g.tm.spreadSec.Observe((g.net.Now() - g.firstSeen[env.ID]).Seconds())
+	g.tm.hops.Observe(float64(env.Hops))
 	targets := g.pickTargets(node)
 	g.mu.Unlock()
 
@@ -179,6 +210,7 @@ func (g *Mesh) receive(node, from simnet.NodeID, env Envelope) {
 		// Errors from Send mean an unregistered peer, which cannot happen
 		// for peers picked from our own list; losses are silent by design.
 		_ = g.net.Send(node, t, MessageKind, next)
+		g.tm.relayed.Inc()
 	}
 }
 
@@ -249,6 +281,7 @@ func (g *Mesh) onDigest(node, from simnet.NodeID, ids []string) {
 	}
 	g.mu.Unlock()
 	if len(missing) > 0 {
+		g.tm.pulls.Add(uint64(len(missing)))
 		_ = g.net.Send(node, from, KindPull, missing)
 	}
 }

@@ -20,6 +20,8 @@
 //	GET  /v1/proofs/{txid}     light-client Merkle inclusion proof
 //	GET  /v1/blobs/{cid}       raw off-chain article body (verified)
 //	GET  /v1/search?q=&k=      full-text search over committed articles
+//	GET  /v1/metrics           Prometheus text exposition of the registry
+//	GET  /v1/traces            JSON export of retained spans
 package httpapi
 
 import (
@@ -30,6 +32,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/blobstore"
 	"repro/internal/corpus"
@@ -41,6 +44,7 @@ import (
 	"repro/internal/merkle"
 	"repro/internal/platform"
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 )
 
 // Server is the HTTP gateway over one platform node.
@@ -51,11 +55,20 @@ type Server struct {
 	// gives the single-node deployment synchronous semantics. Replicated
 	// deployments leave it off and let consensus drive commits.
 	AutoCommit bool
+
+	// Per-route accounting, labeled by the ServeMux pattern so the
+	// cardinality is bounded by the route table. Nil when the platform
+	// has no telemetry registry.
+	tmReq *telemetry.CounterVec
+	tmLat *telemetry.HistogramVec
 }
 
 // New creates the gateway.
 func New(p *platform.Platform, autoCommit bool) *Server {
 	s := &Server{p: p, AutoCommit: autoCommit}
+	reg := p.Telemetry()
+	s.tmReq = reg.CounterVec("trustnews_httpapi_requests_total", "HTTP requests served, by route pattern and status code.", "route", "status")
+	s.tmLat = reg.HistogramVec("trustnews_httpapi_request_seconds", "HTTP request handling time, by route pattern.", nil, "route")
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tx", s.handleSubmitTx)
 	mux.HandleFunc("GET /v1/chain", s.handleChain)
@@ -69,14 +82,59 @@ func New(p *platform.Platform, autoCommit bool) *Server {
 	mux.HandleFunc("GET /v1/proofs/{txid}", s.handleProof)
 	mux.HandleFunc("GET /v1/blobs/{cid}", s.handleBlob)
 	mux.HandleFunc("GET /v1/search", s.handleSearch)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux = mux
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (rec *statusRecorder) WriteHeader(code int) {
+	rec.status = code
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler. With telemetry enabled every
+// request is counted and timed under its ServeMux route pattern.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.tmReq == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	_, route := s.mux.Handler(r)
+	if route == "" {
+		route = "unmatched"
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	s.tmLat.With(route).Observe(time.Since(start).Seconds())
+	s.tmReq.With(route, strconv.Itoa(rec.status)).Inc()
+}
 
 var _ http.Handler = (*Server)(nil)
+
+// handleMetrics serves the platform registry in Prometheus text format.
+// Without a registry the body is empty but the response is still a valid
+// 200 exposition, so scrapers need no special-casing.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = s.p.Telemetry().WritePrometheus(w)
+}
+
+// handleTraces serves the retained spans as JSON (empty export without a
+// registry).
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = s.p.Telemetry().Tracer().WriteJSON(w)
+}
 
 // errorBody is the uniform error envelope.
 type errorBody struct {

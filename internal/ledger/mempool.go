@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Errors returned by the mempool.
@@ -32,6 +35,34 @@ type Mempool struct {
 	// bySender keeps pending txs per sender for nonce-ordered selection.
 	bySender map[string][]*Tx
 	chain    *Chain
+	tm       mempoolMetrics
+}
+
+// mempoolMetrics holds the pool's cached instrument handles. Every
+// handle is nil until Instrument is called; all methods are nil-safe,
+// so the uninstrumented cost is one branch per site.
+type mempoolMetrics struct {
+	admitted  *telemetry.Counter
+	rejected  *telemetry.CounterVec
+	committed *telemetry.Counter
+	pruned    *telemetry.Counter
+	occupancy *telemetry.Gauge
+	verifySec *telemetry.Histogram
+}
+
+// Instrument registers the pool's metrics on reg (nil disables). Call
+// before the pool takes traffic.
+func (m *Mempool) Instrument(reg *telemetry.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tm = mempoolMetrics{
+		admitted:  reg.Counter("trustnews_mempool_admitted_total", "Transactions accepted into the pool."),
+		rejected:  reg.CounterVec("trustnews_mempool_rejected_total", "Transactions rejected at admission, by reason.", "reason"),
+		committed: reg.Counter("trustnews_mempool_committed_total", "Transactions removed after block commit."),
+		pruned:    reg.Counter("trustnews_mempool_pruned_total", "Stale-nonce transactions evicted during pruning."),
+		occupancy: reg.Gauge("trustnews_mempool_occupancy", "Transactions currently pending."),
+		verifySec: reg.Histogram("trustnews_mempool_verify_seconds", "Signature/shape verification time per transaction.", nil),
+	}
 }
 
 // NewMempool creates a pool bounded at capacity (0 means 4096).
@@ -65,27 +96,41 @@ func (m *Mempool) SetMaxPayloadBytes(n int) {
 
 // Add verifies and enqueues a transaction.
 func (m *Mempool) Add(t *Tx) error {
-	if err := t.Verify(); err != nil {
+	if m.tm.verifySec != nil {
+		start := time.Now()
+		err := t.Verify()
+		m.tm.verifySec.Observe(time.Since(start).Seconds())
+		if err != nil {
+			m.tm.rejected.With("verify").Inc()
+			return err
+		}
+	} else if err := t.Verify(); err != nil {
 		return err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(t.Payload) > m.maxPayload {
+		m.tm.rejected.With("payload").Inc()
 		return fmt.Errorf("%w: %d bytes (mempool max %d)", ErrTxPayloadTooLarge, len(t.Payload), m.maxPayload)
 	}
 	if len(m.pending) >= m.cap {
+		m.tm.rejected.With("full").Inc()
 		return ErrMempoolFull
 	}
 	id := t.ID()
 	if _, ok := m.pending[id]; ok {
+		m.tm.rejected.With("duplicate").Inc()
 		return fmt.Errorf("%w: %s", ErrDuplicateTx, id.Short())
 	}
 	if m.chain != nil && t.Nonce < m.chain.NextNonce(t.Sender.String()) {
+		m.tm.rejected.With("stale_nonce").Inc()
 		return fmt.Errorf("%w: sender %s nonce %d", ErrStaleNonce, t.Sender.Short(), t.Nonce)
 	}
 	m.pending[id] = t
 	key := t.Sender.String()
 	m.bySender[key] = append(m.bySender[key], t)
+	m.tm.admitted.Inc()
+	m.tm.occupancy.Set(float64(len(m.pending)))
 	return nil
 }
 
@@ -145,6 +190,9 @@ func (m *Mempool) Remove(txs []*Tx) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, t := range txs {
+		if _, ok := m.pending[t.ID()]; ok {
+			m.tm.committed.Inc()
+		}
 		delete(m.pending, t.ID())
 	}
 	for s, list := range m.bySender {
@@ -159,6 +207,7 @@ func (m *Mempool) Remove(txs []*Tx) {
 			}
 			if t.Nonce < next {
 				delete(m.pending, t.ID())
+				m.tm.pruned.Inc()
 				continue
 			}
 			keep = append(keep, t)
@@ -169,4 +218,5 @@ func (m *Mempool) Remove(txs []*Tx) {
 		}
 		m.bySender[s] = keep
 	}
+	m.tm.occupancy.Set(float64(len(m.pending)))
 }

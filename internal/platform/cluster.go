@@ -75,6 +75,9 @@ func NewCluster(n int, seed int64, cfg Config, tmo consensus.Timeouts) (*Cluster
 		}
 		app.Pool = replica.pool
 		node := consensus.NewNode(vals[i].ID, kps[i], set, net, app, tmo)
+		// One shared registry (cfg.Telemetry) observes the whole cluster:
+		// replica series aggregate, consensus series span all validators.
+		node.Instrument(cfg.Telemetry)
 		if err := node.Bind(); err != nil {
 			return nil, err
 		}

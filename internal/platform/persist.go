@@ -113,6 +113,10 @@ func newDurable(dir string, cfg Config, chain *ledger.Chain) (*Platform, error) 
 	p.mu.Lock()
 	p.chain = chain
 	p.pool = ledger.NewMempool(chain, p.cfg.MempoolCapacity)
+	// The pool New built (and instrumented) was bound to the empty chain;
+	// re-instrument its replacement so durable nodes keep live mempool
+	// metrics. Registering the same families again is idempotent.
+	p.pool.Instrument(cfg.Telemetry)
 	p.dir = dir
 	p.mu.Unlock()
 	return p, nil

@@ -31,6 +31,7 @@ import (
 	"repro/internal/ranking"
 	"repro/internal/search"
 	"repro/internal/supplychain"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by this package.
@@ -76,6 +77,11 @@ type Config struct {
 	// (0 keeps ledger.DefaultMempoolPayloadBytes). The consensus hard cap
 	// ledger.MaxTxPayloadBytes applies regardless.
 	MaxTxPayloadBytes int
+	// Telemetry, when non-nil, instruments the node's hot paths (mempool,
+	// blob store, commit bus, commits) on the given registry and enables
+	// span tracing. Nil — the default — keeps every instrument a no-op, so
+	// library users pay nothing.
+	Telemetry *telemetry.Registry
 }
 
 // defaultMempoolCapacity scales the pending pool to the block size: room
@@ -142,6 +148,18 @@ type Platform struct {
 	// clock supplies block timestamps (fixed epoch by default for
 	// reproducibility; override with SetClock).
 	clock func() time.Time
+	// tm holds the node's cached commit-path instrument handles (nil
+	// without Config.Telemetry; all methods are nil-safe).
+	tm platformMetrics
+	// tracer records commit spans (nil without Config.Telemetry).
+	tracer *telemetry.Tracer
+}
+
+// platformMetrics instruments the platform-level commit path.
+type platformMetrics struct {
+	commits   *telemetry.Counter
+	txs       *telemetry.Counter
+	commitSec *telemetry.Histogram
 }
 
 // New creates a platform node with all contracts registered.
@@ -186,6 +204,17 @@ func New(cfg Config) (*Platform, error) {
 	p.pool = ledger.NewMempool(p.chain, cfg.MempoolCapacity)
 	if cfg.MaxTxPayloadBytes > 0 {
 		p.pool.SetMaxPayloadBytes(cfg.MaxTxPayloadBytes)
+	}
+	// Wire telemetry before any traffic. A nil registry yields nil
+	// instruments everywhere, so the uninstrumented cost is one branch.
+	p.pool.Instrument(cfg.Telemetry)
+	p.blobs.Instrument(cfg.Telemetry)
+	p.bus.Instrument(cfg.Telemetry)
+	p.tracer = cfg.Telemetry.Tracer()
+	p.tm = platformMetrics{
+		commits:   cfg.Telemetry.Counter("trustnews_platform_commits_total", "Blocks committed by this node (standalone or replicated)."),
+		txs:       cfg.Telemetry.Counter("trustnews_platform_txs_committed_total", "Transactions inside committed blocks."),
+		commitSec: cfg.Telemetry.Histogram("trustnews_platform_commit_seconds", "Wall time to execute, append and index one block.", nil),
 	}
 	p.graph = supplychain.NewGraph(p.factIndex)
 	subs := []commitbus.Subscriber{
@@ -291,6 +320,10 @@ func (p *Platform) SetClock(now func() time.Time) { p.clock = now }
 // subscribers before the first commit).
 func (p *Platform) Bus() *commitbus.Bus { return p.bus }
 
+// Telemetry returns the node's metrics registry (nil when the node was
+// built without Config.Telemetry).
+func (p *Platform) Telemetry() *telemetry.Registry { return p.cfg.Telemetry }
+
 // BusStats reports per-subscriber delivery/error/lag accounting.
 func (p *Platform) BusStats() []commitbus.SubscriberStats { return p.bus.Stats() }
 
@@ -335,23 +368,44 @@ func (p *Platform) Commit() (*ledger.Block, []contract.Receipt, error) {
 	if len(txs) == 0 {
 		return nil, nil, nil
 	}
+	var start time.Time
+	if p.tm.commitSec != nil {
+		start = time.Now()
+	}
+	sp := p.tracer.Start("platform.commit")
 	blk := ledger.NewBlock(p.chain.Height(), p.chain.HeadID(), [32]byte{}, p.clock(), p.authority.Address(), txs)
 	var recs []contract.Receipt
+	exec := sp.Child("engine.execute")
 	if p.cfg.ParallelExec {
 		recs, _ = p.engine.ExecuteBlockParallel(blk, 0)
 	} else {
 		recs = p.engine.ExecuteBlock(blk)
 	}
+	exec.End()
 	root, err := p.engine.StateRoot()
 	if err != nil {
+		sp.SetAttr("error", "state_root")
+		sp.End()
 		return nil, nil, fmt.Errorf("platform: state root: %w", err)
 	}
 	blk.Header.StateRoot = root
 	if err := p.chain.Append(blk); err != nil {
+		sp.SetAttr("error", "append")
+		sp.End()
 		return nil, nil, fmt.Errorf("platform: append block: %w", err)
 	}
 	p.pool.Remove(txs)
+	pub := sp.Child("commitbus.publish")
 	p.publishLocked(blk, recs)
+	pub.End()
+	p.tm.commits.Inc()
+	p.tm.txs.Add(uint64(len(txs)))
+	if p.tm.commitSec != nil {
+		p.tm.commitSec.Observe(time.Since(start).Seconds())
+	}
+	sp.SetAttr("height", fmt.Sprintf("%d", blk.Header.Height))
+	sp.SetAttr("txs", fmt.Sprintf("%d", len(txs)))
+	sp.End()
 	return blk, recs, nil
 }
 
@@ -375,6 +429,11 @@ func (p *Platform) CommitAll() error {
 func (p *Platform) ApplyExternalBlock(b *ledger.Block) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var start time.Time
+	if p.tm.commitSec != nil {
+		start = time.Now()
+	}
+	sp := p.tracer.Start("platform.applyExternalBlock")
 	var recs []contract.Receipt
 	if p.cfg.ParallelExec {
 		recs, _ = p.engine.ExecuteBlockParallel(b, 0)
@@ -382,6 +441,13 @@ func (p *Platform) ApplyExternalBlock(b *ledger.Block) error {
 		recs = p.engine.ExecuteBlock(b)
 	}
 	p.publishLocked(b, recs)
+	p.tm.commits.Inc()
+	p.tm.txs.Add(uint64(len(b.Txs)))
+	if p.tm.commitSec != nil {
+		p.tm.commitSec.Observe(time.Since(start).Seconds())
+	}
+	sp.SetAttr("height", fmt.Sprintf("%d", b.Header.Height))
+	sp.End()
 	return nil
 }
 

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("trustnews_test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name returns the same instrument.
+	if r.Counter("trustnews_test_events_total", "events").Value() != 5 {
+		t.Fatal("re-acquired counter lost its value")
+	}
+	g := r.Gauge("trustnews_test_occupancy", "occupancy")
+	g.Set(10)
+	g.Add(-3.5)
+	if got := g.Value(); got != 6.5 {
+		t.Fatalf("gauge = %v, want 6.5", got)
+	}
+}
+
+func TestNilRegistryAndInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "", nil)
+	cv := r.CounterVec("x", "", "a")
+	hv := r.HistogramVec("x", "", nil, "a")
+	gv := r.GaugeVec("x", "", "a")
+	// All of these must be nil and all methods must no-op.
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	cv.With("v").Inc()
+	hv.With("v").Observe(1)
+	gv.With("v").Set(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry rendered %q, err %v", sb.String(), err)
+	}
+	// Tracing on nil registry/tracer/span.
+	sp := r.Tracer().Start("op")
+	sp.SetAttr("k", "v")
+	sp.Child("inner").End()
+	sp.End()
+	if r.Tracer().Total() != 0 {
+		t.Fatal("nil tracer must record nothing")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("trustnews_test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-3.545) > 1e-9 {
+		t.Fatalf("sum = %v, want 3.545", h.Sum())
+	}
+	bounds, counts := h.Buckets()
+	wantCounts := []uint64{1, 2, 1, 1} // ≤0.01, ≤0.1, ≤1, +Inf
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("shape: %v %v", bounds, counts)
+	}
+	for i, w := range wantCounts {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, counts[i], w)
+		}
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := New()
+	v := r.CounterVec("trustnews_test_requests_total", "requests", "route", "status")
+	v.With("/v1/chain", "200").Add(3)
+	v.With("/v1/chain", "404").Inc()
+	v.With("/v1/tx", "200").Inc()
+	if got := v.With("/v1/chain", "200").Value(); got != 3 {
+		t.Fatalf("labeled counter = %d, want 3", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE trustnews_test_requests_total counter",
+		`trustnews_test_requests_total{route="/v1/chain",status="200"} 3`,
+		`trustnews_test_requests_total{route="/v1/chain",status="404"} 1`,
+		`trustnews_test_requests_total{route="/v1/tx",status="200"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusHistogramRendering(t *testing.T) {
+	r := New()
+	h := r.Histogram("trustnews_test_h_seconds", "h", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE trustnews_test_h_seconds histogram",
+		`trustnews_test_h_seconds_bucket{le="0.1"} 1`,
+		`trustnews_test_h_seconds_bucket{le="1"} 2`,
+		`trustnews_test_h_seconds_bucket{le="+Inf"} 3`,
+		"trustnews_test_h_seconds_sum 2.55",
+		"trustnews_test_h_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := New()
+	r.CounterVec("trustnews_test_esc_total", "", "q").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `q="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped: %s", sb.String())
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := New()
+	c := r.Counter("trustnews_test_conc_total", "")
+	h := r.Histogram("trustnews_test_conc_seconds", "", nil)
+	v := r.CounterVec("trustnews_test_conc_labeled_total", "", "worker")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lc := v.With("w")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				lc.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per || h.Count() != workers*per || v.With("w").Value() != workers*per {
+		t.Fatalf("lost updates: %d %d %d", c.Value(), h.Count(), v.With("w").Value())
+	}
+}
+
+func TestTracerRingAndExport(t *testing.T) {
+	tr := NewTracer(3)
+	base := time.Unix(1562500000, 0)
+	tick := 0
+	tr.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Millisecond)
+	})
+	root := tr.Start("commit")
+	root.SetAttr("txs", "12")
+	child := root.Child("execute")
+	child.End()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "execute" || spans[0].Parent != root.ID() {
+		t.Fatalf("child span wrong: %+v", spans[0])
+	}
+	if spans[1].Name != "commit" || spans[1].Parent != 0 || len(spans[1].Attrs) != 1 {
+		t.Fatalf("root span wrong: %+v", spans[1])
+	}
+	if spans[1].DurationNS <= 0 {
+		t.Fatalf("duration = %d, want > 0", spans[1].DurationNS)
+	}
+	// Ring overwrite: capacity 3, add 3 more spans -> oldest evicted.
+	for _, name := range []string{"a", "b", "c"} {
+		tr.Start(name).End()
+	}
+	spans = tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(spans))
+	}
+	if spans[0].Name != "a" || spans[2].Name != "c" {
+		t.Fatalf("ring order wrong: %v %v %v", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d, want 5", tr.Total())
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var exp struct {
+		Capacity int        `json:"capacity"`
+		Total    uint64     `json:"total"`
+		Spans    []SpanData `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &exp); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	if exp.Capacity != 3 || exp.Total != 5 || len(exp.Spans) != 3 {
+		t.Fatalf("export = %+v", exp)
+	}
+}
+
+func TestReRegisterKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("trustnews_test_kind", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("trustnews_test_kind", "")
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies one span within a tracer. 0 means "no span" (the
+// parent of a root span).
+type SpanID uint64
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanData is the exported form of one finished span.
+type SpanData struct {
+	ID     SpanID    `json:"id"`
+	Parent SpanID    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	// DurationNS is the wall-clock span length in nanoseconds.
+	DurationNS int64  `json:"durationNs"`
+	Attrs      []Attr `json:"attrs,omitempty"`
+}
+
+// DefaultTraceCapacity is the tracer ring size when NewTracer gets 0.
+const DefaultTraceCapacity = 4096
+
+// Tracer records finished spans into a fixed-capacity ring buffer: the
+// newest DefaultTraceCapacity (or the configured capacity) spans are
+// retained, older ones are overwritten. Starting and annotating spans is
+// lock-free except for the final End, which takes the ring lock once.
+// All methods are nil-safe, so uninstrumented callers pay one branch.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	ring     []SpanData
+	next     int
+	total    uint64 // finished spans ever
+	capacity int
+	now      func() time.Time
+}
+
+// NewTracer creates a tracer retaining up to capacity finished spans
+// (0 means DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]SpanData, 0, capacity), capacity: capacity, now: time.Now}
+}
+
+// SetClock overrides the tracer's time source (tests).
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+func (t *Tracer) clock() time.Time {
+	t.mu.Lock()
+	now := t.now
+	t.mu.Unlock()
+	return now()
+}
+
+// Span is one in-flight operation. Create with Tracer.Start (or
+// Span.Child), annotate with SetAttr, finish with End. A nil *Span
+// no-ops everywhere, so callers never nil-check.
+type Span struct {
+	t    *Tracer
+	data SpanData
+}
+
+// Start begins a root span.
+func (t *Tracer) Start(name string) *Span {
+	return t.startSpan(name, 0)
+}
+
+func (t *Tracer) startSpan(name string, parent SpanID) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, data: SpanData{
+		ID:     SpanID(t.nextID.Add(1)),
+		Parent: parent,
+		Name:   name,
+		Start:  t.clock(),
+	}}
+}
+
+// Child begins a span parented to s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.startSpan(name, s.data.ID)
+}
+
+// ID returns the span id (0 for a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.data.ID
+}
+
+// SetAttr annotates the span. Safe to call any time before End.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
+}
+
+// End finishes the span and commits it to the tracer's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	s.data.DurationNS = t.now().Sub(s.data.Start).Nanoseconds()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, s.data)
+	} else {
+		t.ring[t.next] = s.data
+	}
+	t.next = (t.next + 1) % t.capacity
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the retained finished spans, oldest first.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, len(t.ring))
+	if len(t.ring) < t.capacity {
+		out = append(out, t.ring...)
+		return out
+	}
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total returns how many spans have finished since creation (including
+// ones already overwritten in the ring).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// traceExport is the JSON envelope of WriteJSON.
+type traceExport struct {
+	Capacity int        `json:"capacity"`
+	Total    uint64     `json:"total"`
+	Spans    []SpanData `json:"spans"`
+}
+
+// WriteJSON renders the retained spans as one JSON document. A nil
+// tracer writes an empty (but valid) export.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	exp := traceExport{Spans: []SpanData{}}
+	if t != nil {
+		exp.Capacity = t.capacity
+		exp.Total = t.Total()
+		exp.Spans = t.Spans()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(exp)
+}

@@ -226,6 +226,17 @@ func BenchmarkE17TelemetryOverhead(b *testing.B) {
 	}
 }
 
+func BenchmarkE18BlockVerification(b *testing.B) {
+	cfg := experiments.DefaultE18()
+	cfg.TxsPerBlock, cfg.Reps, cfg.Rounds, cfg.CommitBlocks = 256, 1, 1, 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE18Verify(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkE10Batching(b *testing.B) {
 	cfg := experiments.E10cConfig{BatchSizes: []int{64}, TotalTxs: 512, Seed: 10}
 	b.ReportAllocs()

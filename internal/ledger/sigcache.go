@@ -1,0 +1,104 @@
+package ledger
+
+import "sync"
+
+// DefaultSigCacheCapacity bounds the verified-signature cache when the
+// caller passes 0. At 32 bytes per id plus map overhead this is ~4 MB —
+// roomy enough to cover many blocks of in-flight transactions.
+const DefaultSigCacheCapacity = 1 << 16
+
+// sigCacheShards is the shard count (power of two; shard chosen by the
+// first id byte, which is uniform since ids are SHA-256 outputs).
+const sigCacheShards = 16
+
+// SigCache is a bounded, sharded set of transaction ids whose ed25519
+// signatures have already been verified. The id covers the exact bytes
+// that were verified — signing surface, public key and signature — so a
+// hit proves this precise tuple passed keys.Verify at some point.
+//
+// The cache is an accelerator, never a trust root: consumers must re-hash
+// the transaction's current bytes before the lookup (Verifier.VerifyTx
+// does), so an entry can only ever vouch for bytes that hash to it.
+// Eviction is FIFO per shard; all methods are nil-safe so an uncached
+// pipeline costs one branch.
+type SigCache struct {
+	shards [sigCacheShards]sigShard
+}
+
+type sigShard struct {
+	mu   sync.Mutex
+	m    map[TxID]struct{}
+	ring []TxID // FIFO of resident ids, oldest at head
+	head int
+}
+
+// NewSigCache creates a cache bounded at capacity ids across all shards
+// (0 means DefaultSigCacheCapacity).
+func NewSigCache(capacity int) *SigCache {
+	if capacity <= 0 {
+		capacity = DefaultSigCacheCapacity
+	}
+	per := (capacity + sigCacheShards - 1) / sigCacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &SigCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[TxID]struct{}, per)
+		c.shards[i].ring = make([]TxID, 0, per)
+	}
+	return c
+}
+
+func (c *SigCache) shard(id TxID) *sigShard {
+	return &c.shards[id[0]&(sigCacheShards-1)]
+}
+
+// Contains reports whether id's signature was previously verified.
+func (c *SigCache) Contains(id TxID) bool {
+	if c == nil {
+		return false
+	}
+	s := c.shard(id)
+	s.mu.Lock()
+	_, ok := s.m[id]
+	s.mu.Unlock()
+	return ok
+}
+
+// Add records a verified id, evicting the shard's oldest entry at
+// capacity.
+func (c *SigCache) Add(id TxID) {
+	if c == nil {
+		return
+	}
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[id]; ok {
+		return
+	}
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, id)
+	} else {
+		delete(s.m, s.ring[s.head])
+		s.ring[s.head] = id
+		s.head = (s.head + 1) % len(s.ring)
+	}
+	s.m[id] = struct{}{}
+}
+
+// Len returns the number of resident ids.
+func (c *SigCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.m)
+		s.mu.Unlock()
+	}
+	return total
+}

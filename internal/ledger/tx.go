@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/keys"
 )
@@ -61,11 +62,65 @@ type Tx struct {
 	Payload []byte            `json:"payload"`
 	PubKey  ed25519.PublicKey `json:"pubKey"`
 	Sig     []byte            `json:"sig"`
+
+	// memo caches the derived byte forms of the transaction — signing
+	// bytes, canonical encoding and content hash — so hot paths (TxRoot,
+	// block validation, gossip encoding) serialize each tx once instead of
+	// 3-5 times. Sign invalidates it; Verify and the verification
+	// pipeline's structural re-check never consult it, so a field mutated
+	// after the memo was built can never smuggle stale bytes past a
+	// signature or cache check.
+	memo atomic.Pointer[txMemo]
+}
+
+// txMemo is one immutable snapshot of a transaction's derived bytes.
+type txMemo struct {
+	signing []byte
+	encoded []byte
+	id      TxID
+}
+
+// memoized returns the cached derived bytes, computing them once on first
+// use. Concurrent first calls may compute twice; both results are
+// identical and either may win the store.
+func (t *Tx) memoized() *txMemo {
+	if m := t.memo.Load(); m != nil {
+		return m
+	}
+	signing := t.signingBytes()
+	enc := make([]byte, 0, len(signing)+8+len(t.PubKey)+len(t.Sig))
+	enc = append(enc, signing...)
+	enc = appendLenPrefixed(enc, t.PubKey)
+	enc = appendLenPrefixed(enc, t.Sig)
+	m := &txMemo{signing: signing, encoded: enc, id: hashTx(signing, t.PubKey, t.Sig)}
+	t.memo.Store(m)
+	return m
+}
+
+// hashTx computes the content hash over the canonical signed surface.
+func hashTx(signing, pub, sig []byte) TxID {
+	h := sha256.New()
+	h.Write(signing)
+	h.Write(pub)
+	h.Write(sig)
+	var id TxID
+	h.Sum(id[:0])
+	return id
+}
+
+func appendLenPrefixed(dst, b []byte) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+	dst = append(dst, n[:]...)
+	return append(dst, b...)
 }
 
 // signingBytes produces the canonical byte encoding covered by the
 // signature: length-prefixed fields in fixed order. This is deliberately
 // hand-rolled rather than gob/json so the encoding is stable and canonical.
+// It always serializes the current field values — memoization lives in
+// memoized(), and verification paths call this directly so tampered fields
+// are always re-serialized before any signature or cache decision.
 func (t *Tx) signingBytes() []byte {
 	var buf bytes.Buffer
 	buf.Write(t.Sender[:])
@@ -89,11 +144,14 @@ func readBytes(r *bytes.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, n[:]); err != nil {
 		return nil, fmt.Errorf("ledger: short length prefix: %w", err)
 	}
+	// Compare in uint64 so a hostile 4 GiB length prefix can neither wrap a
+	// 32-bit int nor drive the allocation below: the allocation is clamped
+	// by the reader's actual remaining bytes before make runs.
 	size := binary.BigEndian.Uint32(n[:])
-	if int(size) > r.Len() {
+	if uint64(size) > uint64(r.Len()) {
 		return nil, fmt.Errorf("ledger: truncated field (want %d, have %d)", size, r.Len())
 	}
-	out := make([]byte, size)
+	out := make([]byte, int(size))
 	if size == 0 {
 		return out, nil
 	}
@@ -104,59 +162,39 @@ func readBytes(r *bytes.Reader) ([]byte, error) {
 }
 
 // ID returns the content hash of the transaction, covering the signature so
-// two differently-signed copies of the same intent are distinct.
+// two differently-signed copies of the same intent are distinct. The hash is
+// memoized; mutating fields after the first call returns the stale id (the
+// verification pipeline always re-hashes, so a stale id cannot pass
+// validation — see Verifier.VerifyTx).
 func (t *Tx) ID() TxID {
-	h := sha256.New()
-	h.Write(t.signingBytes())
-	h.Write(t.PubKey)
-	h.Write(t.Sig)
-	var id TxID
-	h.Sum(id[:0])
-	return id
+	return t.memoized().id
 }
 
 // Sign populates PubKey and Sig using the key pair, which must match Sender.
+// It invalidates any memoized derived bytes first.
 func (t *Tx) Sign(kp *keys.KeyPair) error {
 	if kp.Address() != t.Sender {
 		return ErrTxSenderMismatch
 	}
+	t.memo.Store(nil)
 	t.PubKey = kp.Public()
 	t.Sig = kp.Sign(t.signingBytes())
 	return nil
 }
 
-// Verify checks structural validity and the signature/sender binding.
+// Verify checks structural validity and the signature/sender binding. It
+// never consults memoized bytes, so it remains sound against post-hoc field
+// mutation. This is the serial baseline; block validation goes through
+// Verifier.VerifyTx, which can skip the ed25519 operation via the
+// verified-signature cache.
 func (t *Tx) Verify() error {
-	if t.Kind == "" {
-		return ErrTxEmptyKind
-	}
-	if len(t.Payload) > MaxTxPayloadBytes {
-		return fmt.Errorf("%w: %d bytes (max %d)", ErrTxPayloadTooLarge, len(t.Payload), MaxTxPayloadBytes)
-	}
-	if len(t.Sig) == 0 || len(t.PubKey) == 0 {
-		return ErrTxUnsigned
-	}
-	if keys.AddressFromPub(t.PubKey) != t.Sender {
-		return ErrTxSenderMismatch
-	}
-	if err := keys.Verify(t.PubKey, t.signingBytes(), t.Sig); err != nil {
-		return fmt.Errorf("%w: %v", ErrTxBadSignature, err)
-	}
-	return nil
+	return (*Verifier)(nil).VerifyTx(t)
 }
 
-// Encode serializes the transaction to a canonical byte string.
+// Encode serializes the transaction to a canonical byte string. The result
+// is memoized and shared between callers: treat it as read-only.
 func (t *Tx) Encode() []byte {
-	var buf bytes.Buffer
-	buf.Write(t.Sender[:])
-	var n [8]byte
-	binary.BigEndian.PutUint64(n[:], t.Nonce)
-	buf.Write(n[:])
-	writeBytes(&buf, []byte(t.Kind))
-	writeBytes(&buf, t.Payload)
-	writeBytes(&buf, t.PubKey)
-	writeBytes(&buf, t.Sig)
-	return buf.Bytes()
+	return t.memoized().encoded
 }
 
 // DecodeTx parses a transaction encoded by Encode.

@@ -16,6 +16,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 )
 
 // HashSize is the size of a tree hash in bytes.
@@ -96,6 +98,77 @@ func Root(leaves [][]byte) Hash {
 		level = next
 	}
 	return level[0]
+}
+
+// parallelRootThreshold is the leaf count below which RootParallel stays
+// serial: for small trees the fan-out costs more than the hashing.
+const parallelRootThreshold = 128
+
+// RootParallel computes the same root as Root, fanning the leaf hashing —
+// the dominant cost, one SHA-256 per payload — across up to workers
+// goroutines (<=0 means GOMAXPROCS). Interior levels are reduced in
+// parallel while wide enough to pay for the fan-out. The result is
+// bit-identical to Root for every leaf set.
+func RootParallel(leaves [][]byte, workers int) Hash {
+	n := len(leaves)
+	if n == 0 {
+		return Hash{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < parallelRootThreshold {
+		return Root(leaves)
+	}
+	level := make([]Hash, n)
+	parallelChunks(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			level[i] = HashLeaf(leaves[i])
+		}
+	})
+	for len(level) > 1 {
+		next := make([]Hash, (len(level)+1)/2)
+		reduce := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				l := 2 * i
+				if l+1 == len(level) {
+					next[i] = HashInterior(level[l], level[l])
+					continue
+				}
+				next[i] = HashInterior(level[l], level[l+1])
+			}
+		}
+		if len(next) >= parallelRootThreshold {
+			parallelChunks(workers, len(next), reduce)
+		} else {
+			reduce(0, len(next))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// parallelChunks splits [0,n) into contiguous chunks and runs fn over
+// each chunk concurrently. Chunks index the output level, so workers
+// never write overlapping ranges.
+func parallelChunks(workers, n int, fn func(lo, hi int)) {
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // ProofStep is one sibling hash on the path from a leaf to the root.

@@ -234,6 +234,34 @@ func TestAccumulatorSequenceProperty(t *testing.T) {
 	}
 }
 
+// RootParallel must be bit-identical to Root for every shape and worker
+// count: below the threshold it delegates, above it the chunked leaf
+// hashing and interior reduce must reproduce the exact serial tree.
+func TestRootParallelMatchesRoot(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 15, 16, 127, 128, 129, 255, 256, 1000} {
+		ls := leaves(n)
+		want := Root(ls)
+		for _, workers := range []int{0, 1, 2, 7, 16} {
+			if got := RootParallel(ls, workers); got != want {
+				t.Fatalf("n=%d workers=%d: %s != %s", n, workers, got.Short(), want.Short())
+			}
+		}
+	}
+}
+
+func BenchmarkRootParallel(b *testing.B) {
+	for _, n := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ls := leaves(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				RootParallel(ls, 0)
+			}
+		})
+	}
+}
+
 func BenchmarkRoot(b *testing.B) {
 	for _, n := range []int{16, 256, 4096} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {

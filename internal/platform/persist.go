@@ -62,8 +62,9 @@ func Open(dir string, cfg Config) (*Platform, func() error, error) {
 		}
 	}
 
-	// Full replay: decode, validate and re-execute every block.
-	chain, err := ledger.NewChain(log)
+	// Full replay: decode, validate and re-execute every block, with the
+	// replay's body validation fanned across the verification pipeline.
+	chain, err := ledger.NewChainVerified(log, newVerifier(cfg))
 	if err != nil {
 		log.Close()
 		return nil, nil, fmt.Errorf("platform: reopen chain: %w", err)
@@ -87,7 +88,7 @@ func Open(dir string, cfg Config) (*Platform, func() error, error) {
 // replay just the tail. Any error means the caller must fall back to the
 // full-replay path; nothing here mutates the log.
 func openFromCheckpoint(dir string, cfg Config, log *store.FileLog, cp *store.Checkpoint) (*Platform, error) {
-	chain, err := ledger.NewChainFromSnapshot(log, cp.Chain)
+	chain, err := ledger.NewChainFromSnapshotVerified(log, cp.Chain, newVerifier(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -112,10 +113,15 @@ func newDurable(dir string, cfg Config, chain *ledger.Chain) (*Platform, error) 
 	}
 	p.mu.Lock()
 	p.chain = chain
+	// Adopt the durable chain's pipeline (it already verified the replay
+	// and its cache is warm with the tail's signatures), discarding the
+	// one New built for the throwaway empty chain.
+	p.verifier = chain.Verifier()
 	p.pool = ledger.NewMempool(chain, p.cfg.MempoolCapacity)
 	// The pool New built (and instrumented) was bound to the empty chain;
 	// re-instrument its replacement so durable nodes keep live mempool
 	// metrics. Registering the same families again is idempotent.
+	p.verifier.Instrument(cfg.Telemetry)
 	p.pool.Instrument(cfg.Telemetry)
 	p.dir = dir
 	p.mu.Unlock()

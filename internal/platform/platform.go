@@ -77,6 +77,18 @@ type Config struct {
 	// (0 keeps ledger.DefaultMempoolPayloadBytes). The consensus hard cap
 	// ledger.MaxTxPayloadBytes applies regardless.
 	MaxTxPayloadBytes int
+	// VerifyWorkers sets the block-verification worker-pool width (0 means
+	// GOMAXPROCS). Mempool admission, consensus proposal validation,
+	// Chain.Append and checkpoint replay all share the pool and its
+	// signature cache.
+	VerifyWorkers int
+	// SerialVerify forces single-threaded block verification — the
+	// baseline kept for perf comparisons (EXPERIMENTS.md E18). The
+	// signature cache stays active.
+	SerialVerify bool
+	// SigCacheCapacity bounds the verified-signature cache (0 means
+	// ledger.DefaultSigCacheCapacity).
+	SigCacheCapacity int
 	// Telemetry, when non-nil, instruments the node's hot paths (mempool,
 	// blob store, commit bus, commits) on the given registry and enables
 	// span tracing. Nil — the default — keeps every instrument a no-op, so
@@ -92,6 +104,14 @@ func defaultMempoolCapacity(maxTxsPerBlock int) int {
 		capacity = 1 << 16
 	}
 	return capacity
+}
+
+// newVerifier builds the node's verification pipeline from the config: a
+// worker pool over a bounded verified-signature cache.
+func newVerifier(cfg Config) *ledger.Verifier {
+	v := ledger.NewVerifier(ledger.NewSigCache(cfg.SigCacheCapacity), cfg.VerifyWorkers)
+	v.SetSerial(cfg.SerialVerify)
+	return v
 }
 
 // DefaultConfig returns the standard configuration.
@@ -116,6 +136,11 @@ type Platform struct {
 	chain     *ledger.Chain
 	pool      *ledger.Mempool
 	authority *keys.KeyPair
+	// verifier is the node's block-verification pipeline: a GOMAXPROCS
+	// worker pool over a bounded signature cache shared by mempool
+	// admission, chain append, consensus proposal validation and
+	// checkpoint replay.
+	verifier *ledger.Verifier
 
 	factIndex  *factdb.Index
 	graph      *supplychain.Graph
@@ -192,6 +217,8 @@ func New(cfg Config) (*Platform, error) {
 		searchIdx: search.New(),
 		clock:     func() time.Time { return time.Unix(1562500000, 0).UTC() },
 	}
+	p.verifier = newVerifier(cfg)
+	p.chain.SetVerifier(p.verifier)
 	if cfg.BlobDir != "" {
 		blobs, err := blobstore.Open(cfg.BlobDir, cfg.BlobChunkSize)
 		if err != nil {
@@ -207,6 +234,7 @@ func New(cfg Config) (*Platform, error) {
 	}
 	// Wire telemetry before any traffic. A nil registry yields nil
 	// instruments everywhere, so the uninstrumented cost is one branch.
+	p.verifier.Instrument(cfg.Telemetry)
 	p.pool.Instrument(cfg.Telemetry)
 	p.blobs.Instrument(cfg.Telemetry)
 	p.bus.Instrument(cfg.Telemetry)
@@ -260,6 +288,10 @@ func (p *Platform) Engine() *contract.Engine { return p.engine }
 
 // Chain exposes the underlying chain.
 func (p *Platform) Chain() *ledger.Chain { return p.chain }
+
+// Verifier exposes the node's block-verification pipeline (worker pool +
+// signature cache).
+func (p *Platform) Verifier() *ledger.Verifier { return p.verifier }
 
 // Graph exposes the news supply-chain graph.
 func (p *Platform) Graph() *supplychain.Graph { return p.graph }

@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race race-hot bench-reopen
+.PHONY: tier1 build vet test race race-hot chaos bench-reopen
 
-tier1: build vet race-hot race
+tier1: build vet race-hot chaos race
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,13 @@ race:
 # instrument handles, gossip fan-out, blob retrieval) before the full
 # suite runs.
 race-hot:
-	$(GO) test -race -count=1 ./internal/telemetry/... ./internal/commitbus/... ./internal/gossip/... ./internal/blobstore/... ./internal/ledger ./internal/consensus
+	$(GO) test -race -count=1 ./internal/telemetry/... ./internal/commitbus/... ./internal/gossip/... ./internal/blobstore/... ./internal/ledger ./internal/consensus ./internal/simnet ./internal/chaos
+
+# Deterministic chaos scenarios (fixed seeds baked into the tests):
+# rolling restarts, partition+heal, crash-during-commit, corrupt links,
+# churn, and the determinism fingerprint itself.
+chaos:
+	$(GO) test -count=1 -run 'TestScenario|TestChaosDeterministicFingerprint' ./internal/chaos
 
 # Reopen cost: full replay vs checkpoint restore (EXPERIMENTS.md E15b).
 bench-reopen:

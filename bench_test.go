@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/platform"
@@ -331,5 +332,16 @@ func BenchmarkOpenCheckpoint(b *testing.B) {
 			b.Fatalf("checkpoint restore not taken (height %d)", p.CheckpointHeight())
 		}
 		closeFn()
+	}
+}
+
+func BenchmarkE19ChaosSweep(b *testing.B) {
+	cfg := experiments.DefaultE19()
+	cfg.Window = 600 * time.Millisecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE19Chaos(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -206,6 +206,13 @@ func run(quick bool, only, jsonPath string) error {
 			}
 			return experiments.RunE18Verify(cfg)
 		}},
+		{"E19", func(q bool) (*experiments.Table, error) {
+			cfg := experiments.DefaultE19()
+			if q {
+				cfg.Window = 600 * time.Millisecond
+			}
+			return experiments.RunE19Chaos(cfg)
+		}},
 	}
 	dump := jsonDump{Quick: quick, Results: []jsonResult{}}
 	for _, r := range runners {

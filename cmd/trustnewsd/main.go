@@ -19,12 +19,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/aidetect"
@@ -43,13 +47,18 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-interval", 5*time.Minute, "how often a durable node checkpoints derived state (0 disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it private)")
 	flag.Parse()
-	if err := run(*addr, *seedDemo, *corpusSeed, *dataDir, *blobDir, *ckptEvery, *pprofAddr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *seedDemo, *corpusSeed, *dataDir, *blobDir, *ckptEvery, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "trustnewsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seedDemo bool, corpusSeed int64, dataDir, blobDir string, ckptEvery time.Duration, pprofAddr string) error {
+// run boots the node and serves until ctx is cancelled (SIGINT/SIGTERM in
+// production), then shuts the HTTP server down gracefully and, for durable
+// nodes, flushes a final checkpoint so the next start replays nothing.
+func run(ctx context.Context, addr string, seedDemo bool, corpusSeed int64, dataDir, blobDir string, ckptEvery time.Duration, pprofAddr string) error {
 	var (
 		p   *platform.Platform
 		err error
@@ -76,7 +85,7 @@ func run(addr string, seedDemo bool, corpusSeed int64, dataDir, blobDir string, 
 		defer closeFn()
 		log.Printf("durable node at %s: height %d, checkpoint height %d, %d blobs", dataDir, p.Chain().Height(), p.CheckpointHeight(), p.Blobs().Stats().Blobs)
 		if ckptEvery > 0 {
-			go checkpointLoop(p, ckptEvery)
+			go checkpointLoop(ctx, p, ckptEvery)
 		}
 	} else {
 		p, err = platform.New(cfg)
@@ -105,9 +114,37 @@ func run(addr string, seedDemo bool, corpusSeed int64, dataDir, blobDir string, 
 		Addr:              addr,
 		Handler:           httpapi.New(p, true),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("trustnewsd listening on %s (authority %s)", addr, p.Authority().Short())
-	return srv.ListenAndServe()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("trustnewsd listening on %s (authority %s)", addr, p.Authority().Short())
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutdown: draining connections")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: drain: %v", err)
+		srv.Close()
+	}
+	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	if dataDir != "" && p.Chain().Height() != p.CheckpointHeight() {
+		if err := p.WriteCheckpoint(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		log.Printf("shutdown: final checkpoint at height %d", p.CheckpointHeight())
+	}
+	return nil
 }
 
 // servePprof exposes the net/http/pprof handlers on their own mux and
@@ -128,11 +165,17 @@ func servePprof(addr string) {
 
 // checkpointLoop periodically snapshots the node's derived state so the
 // next restart replays only the WAL tail. Checkpoints that would not
-// advance (no new blocks) are skipped.
-func checkpointLoop(p *platform.Platform, every time.Duration) {
+// advance (no new blocks) are skipped. The loop exits when ctx is
+// cancelled; the shutdown path writes its own final checkpoint.
+func checkpointLoop(ctx context.Context, p *platform.Platform, every time.Duration) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
-	for range ticker.C {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
 		if p.Chain().Height() == p.CheckpointHeight() {
 			continue
 		}

@@ -59,6 +59,12 @@ func (a *ChainApp) ValidateBlock(b *ledger.Block) error {
 	return a.Chain.VerifyBlockBody(b)
 }
 
+// BlockAt implements BlockFetcher, so a node backed by this app can serve
+// block sync for heights older than its certificate window.
+func (a *ChainApp) BlockAt(height uint64) (*ledger.Block, error) {
+	return a.Chain.BlockAt(height)
+}
+
 // CommitBlock implements App.
 func (a *ChainApp) CommitBlock(b *ledger.Block) error {
 	if err := a.Chain.Append(b); err != nil {

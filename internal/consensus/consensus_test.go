@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"testing"
@@ -113,11 +114,11 @@ func TestVoteSetEquivocationDetected(t *testing.T) {
 	if err := vs.add(v1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := vs.add(v1, 1); err != nil {
-		t.Fatal("duplicate identical vote must be tolerated")
+	if err := vs.add(v1, 1); !errors.Is(err, ErrDuplicateVote) {
+		t.Fatalf("duplicate identical vote must surface as ErrDuplicateVote, got %v", err)
 	}
-	if err := vs.add(v2, 1); err == nil {
-		t.Fatal("want equivocation error")
+	if err := vs.add(v2, 1); !errors.Is(err, ErrEquivocation) {
+		t.Fatalf("want equivocation error, got %v", err)
 	}
 	if vs.totalPower() != 1 {
 		t.Fatalf("power=%d; duplicates must not double-count", vs.totalPower())

@@ -1,7 +1,9 @@
 package consensus
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/keys"
@@ -83,8 +85,15 @@ type Node struct {
 
 	// certs retains the commit certificates this node produced or
 	// received, keyed by height, so it can serve block sync to validators
-	// that join (or recover) late.
+	// that join (or recover) late. Retention is bounded to a sliding
+	// window of certWindow heights; older heights are served from the
+	// chain app (see serveChainSync), so memory stays O(window) no matter
+	// how long the node runs.
 	certs map[uint64]*Commit
+	// certFloor is the lowest height that may still hold a certificate.
+	certFloor uint64
+	// certWindow bounds len(certs); zero means DefaultCertWindow.
+	certWindow int
 	// syncRequested tracks the last height we asked a peer to backfill,
 	// to avoid flooding duplicate requests.
 	syncRequested uint64
@@ -108,6 +117,8 @@ type consensusMetrics struct {
 	votePrevote   *telemetry.Counter
 	votePrecommit *telemetry.Counter
 	propRejected  *telemetry.CounterVec
+	voteRejected  *telemetry.CounterVec
+	msgRejected   *telemetry.CounterVec
 	equivocations *telemetry.Counter
 	roundSec      *telemetry.Histogram
 	heightSec     *telemetry.Histogram
@@ -123,6 +134,8 @@ func (n *Node) Instrument(reg *telemetry.Registry) {
 		votePrevote:   votes.With("prevote"),
 		votePrecommit: votes.With("precommit"),
 		propRejected:  reg.CounterVec("trustnews_consensus_proposals_rejected_total", "Proposals dropped before acceptance, by reason.", "reason"),
+		voteRejected:  reg.CounterVec("trustnews_consensus_votes_rejected_total", "Votes dropped before counting, by reason.", "reason"),
+		msgRejected:   reg.CounterVec("trustnews_consensus_messages_rejected_total", "Messages dropped as malformed or unverifiable, by reason.", "reason"),
 		equivocations: reg.Counter("trustnews_consensus_equivocations_total", "Conflicting votes detected from one validator."),
 		roundSec:      reg.Histogram("trustnews_consensus_round_seconds", "Virtual-time duration of each consensus round.", nil),
 		heightSec:     reg.Histogram("trustnews_consensus_height_seconds", "Virtual time from height start to commit.", nil),
@@ -132,13 +145,44 @@ func (n *Node) Instrument(reg *telemetry.Registry) {
 // KindSyncRequest asks a peer for the commit certificate of one height.
 const KindSyncRequest = "consensus.syncreq"
 
+// KindSyncBlocks carries a chain-backed backfill: a run of committed
+// blocks below the responder's certificate window, authenticated by the
+// oldest retained certificate at the top of the run.
+const KindSyncBlocks = "consensus.syncblocks"
+
 // syncRequest is the payload of KindSyncRequest.
 type syncRequest struct {
 	Height uint64
 }
 
+// syncResponse is the payload of KindSyncBlocks. Blocks covers heights
+// [From, Cert.Height); Cert certifies the block that extends the run.
+// The receiver verifies the certificate and the hash linkage of the run
+// up to the certified block before applying anything, so the whole suffix
+// is as trustworthy as the certificate itself.
+type syncResponse struct {
+	From   uint64
+	Blocks []*ledger.Block
+	Cert   *Commit
+}
+
 // maxFutureBuffer bounds the future-message queue per node.
 const maxFutureBuffer = 1 << 14
+
+// DefaultCertWindow is the number of recent heights whose commit
+// certificates a node keeps in memory for block sync.
+const DefaultCertWindow = 128
+
+// maxSyncBatch bounds the blocks served in one chain-backed sync
+// response.
+const maxSyncBatch = 512
+
+// BlockFetcher is the optional App extension that lets a node serve block
+// sync for heights older than its in-memory certificate window. ChainApp
+// implements it over its chain.
+type BlockFetcher interface {
+	BlockAt(height uint64) (*ledger.Block, error)
+}
 
 // NewNode creates a consensus node for the validator identified by kp.
 func NewNode(id simnet.NodeID, kp *keys.KeyPair, set *ValidatorSet, net *simnet.Network, app App, tmo Timeouts) *Node {
@@ -173,8 +217,31 @@ func (n *Node) Height() uint64 { return n.height }
 // Stop makes the node ignore all further events (simulates a crash).
 func (n *Node) Stop() { n.stopped = true }
 
+// Stopped reports whether the node has stopped (crashed via Stop, or
+// halted itself after an application-level commit failure).
+func (n *Node) Stopped() bool { return n.stopped }
+
+// SetCertWindow bounds the in-memory commit-certificate retention to the
+// given number of recent heights (0 restores DefaultCertWindow). Call
+// before Start.
+func (n *Node) SetCertWindow(w int) { n.certWindow = w }
+
+// CertCount returns the number of commit certificates held in memory.
+func (n *Node) CertCount() int { return len(n.certs) }
+
 // Start enters the first height/round.
 func (n *Node) Start() {
+	n.metrics.lastHeightAt = n.net.Now()
+	n.startRound(0)
+}
+
+// StartAt enters consensus at the given height — the restart path for a
+// node whose chain was recovered from its checkpoint and WAL. Heights
+// below the start are assumed committed by the application; peers backfill
+// anything decided while the node was down through the sync protocol.
+func (n *Node) StartAt(height uint64) {
+	n.height = height
+	n.certFloor = height
 	n.metrics.lastHeightAt = n.net.Now()
 	n.startRound(0)
 }
@@ -206,6 +273,11 @@ func (n *Node) startRound(round int) {
 			pol = -1
 		}
 		p := &Proposal{Height: n.height, Round: round, POLRound: pol, Block: block, Proposer: n.kp.Address()}
+		if pol >= 0 {
+			// Attach the proof-of-lock prevotes so receivers that missed
+			// them can verify the POL from the proposal alone.
+			p.POLVotes = n.prevoteSet(n.height, pol).votesFor(block.ID())
+		}
 		SignProposal(p, n.kp)
 		n.broadcast(KindProposal, p)
 		n.onProposal(p) // deliver to self
@@ -269,21 +341,30 @@ func (n *Node) signVote(t VoteType, id ledger.BlockID) {
 }
 
 // messageHeight extracts the consensus height of a message, or false for
-// non-consensus payloads.
+// non-consensus (or corrupted) payloads.
 func messageHeight(m simnet.Message) (uint64, bool) {
 	switch p := m.Payload.(type) {
 	case *Proposal:
+		if p == nil {
+			return 0, false
+		}
 		return p.Height, true
 	case Vote:
 		return p.Height, true
 	case *Commit:
+		if p == nil {
+			return 0, false
+		}
 		return p.Height, true
 	default:
 		return 0, false
 	}
 }
 
-// Handle processes an incoming network message.
+// Handle processes an incoming network message. Corrupted, duplicated and
+// replayed traffic must never crash the node or double-count votes: every
+// malformed or unverifiable message is dropped and accounted for in the
+// rejection counters.
 func (n *Node) Handle(m simnet.Message) {
 	if n.stopped {
 		return
@@ -300,37 +381,135 @@ func (n *Node) Handle(m simnet.Message) {
 		}
 		return
 	}
-	if m.Kind == KindSyncRequest {
-		if req, ok := m.Payload.(syncRequest); ok {
-			if cert := n.certs[req.Height]; cert != nil {
-				_ = n.net.Send(n.id, m.From, KindCommit, cert)
-			}
-		}
-		return
-	}
 	switch m.Kind {
+	case KindSyncRequest:
+		req, ok := m.Payload.(syncRequest)
+		if !ok {
+			n.tm.msgRejected.With("malformed").Inc()
+			return
+		}
+		if cert := n.certs[req.Height]; cert != nil {
+			_ = n.net.Send(n.id, m.From, KindCommit, cert)
+			return
+		}
+		n.serveChainSync(m.From, req.Height)
+	case KindSyncBlocks:
+		resp, ok := m.Payload.(*syncResponse)
+		if !ok {
+			n.tm.msgRejected.With("malformed").Inc()
+			return
+		}
+		n.onSyncBlocks(resp)
 	case KindProposal:
 		p, ok := m.Payload.(*Proposal)
-		if !ok {
+		if !ok || p == nil {
+			n.tm.msgRejected.With("malformed").Inc()
 			return
 		}
 		n.onProposal(p)
 	case KindVote:
 		v, ok := m.Payload.(Vote)
 		if !ok {
+			n.tm.msgRejected.With("malformed").Inc()
 			return
 		}
 		n.onVote(v)
 	case KindCommit:
 		c, ok := m.Payload.(*Commit)
-		if !ok {
+		if !ok || c == nil {
+			n.tm.msgRejected.With("malformed").Inc()
 			return
 		}
 		n.onCommit(c)
 	}
 }
 
+// serveChainSync answers a sync request for a height below the in-memory
+// certificate window: it streams the committed blocks from the chain app
+// up to the oldest retained certificate, which authenticates the run.
+func (n *Node) serveChainSync(to simnet.NodeID, from uint64) {
+	bf, ok := n.app.(BlockFetcher)
+	if !ok {
+		return
+	}
+	// The oldest retained certificate caps the run. Scanning from the
+	// floor is bounded by the window size.
+	certHeight := n.certFloor
+	for ; certHeight <= n.height; certHeight++ {
+		if n.certs[certHeight] != nil {
+			break
+		}
+	}
+	cert := n.certs[certHeight]
+	if cert == nil || from >= certHeight || certHeight-from > maxSyncBatch {
+		return
+	}
+	blocks := make([]*ledger.Block, 0, certHeight-from)
+	for h := from; h < certHeight; h++ {
+		b, err := bf.BlockAt(h)
+		if err != nil {
+			return
+		}
+		blocks = append(blocks, b)
+	}
+	_ = n.net.Send(n.id, to, KindSyncBlocks, &syncResponse{From: from, Blocks: blocks, Cert: cert})
+}
+
+// onSyncBlocks applies a chain-backed backfill. Everything is verified
+// before the first block is committed: the certificate must carry a valid
+// quorum, and the run must hash-link contiguously into the certified
+// block. A response that fails any check is dropped (and counted), never
+// partially applied.
+func (n *Node) onSyncBlocks(resp *syncResponse) {
+	if resp.Cert == nil || resp.Cert.Block == nil {
+		n.tm.msgRejected.With("malformed").Inc()
+		return
+	}
+	if resp.From != n.height {
+		n.tm.msgRejected.With("stale_sync").Inc()
+		return
+	}
+	if resp.Cert.Height != resp.From+uint64(len(resp.Blocks)) {
+		n.tm.msgRejected.With("bad_sync_run").Inc()
+		return
+	}
+	if err := VerifyCommit(resp.Cert, n.set); err != nil {
+		n.tm.msgRejected.With("bad_certificate").Inc()
+		return
+	}
+	prev := resp.Cert.Block
+	for i := len(resp.Blocks) - 1; i >= 0; i-- {
+		b := resp.Blocks[i]
+		if b == nil || b.Header.Height != resp.From+uint64(i) || prev.Header.Prev != b.ID() {
+			n.tm.msgRejected.With("bad_sync_run").Inc()
+			return
+		}
+		prev = b
+	}
+	for _, b := range resp.Blocks {
+		if err := n.app.CommitBlock(b); err != nil {
+			// The run was certified, so a local apply failure means our
+			// chain diverged — halt rather than fork.
+			n.stopped = true
+			return
+		}
+		n.metrics.Committed++
+		n.tm.commits.Inc()
+		delete(n.proposals, n.height)
+		delete(n.prevotes, n.height)
+		delete(n.precommit, n.height)
+		n.height++
+	}
+	// The certified block itself lands through the normal commit path,
+	// which restarts rounds and replays buffered future messages.
+	n.onCommit(resp.Cert)
+}
+
 func (n *Node) onProposal(p *Proposal) {
+	if p.Block == nil {
+		n.tm.propRejected.With("malformed").Inc()
+		return
+	}
 	if p.Height != n.height {
 		n.tm.propRejected.With("stale_height").Inc()
 		return
@@ -352,8 +531,24 @@ func (n *Node) onProposal(p *Proposal) {
 		n.tm.propRejected.With("duplicate").Inc()
 		return
 	}
+	if len(p.POLVotes) > n.set.Len() {
+		n.tm.propRejected.With("malformed").Inc()
+		return
+	}
 	rounds[p.Round] = p
 	n.blocks[p.Block.ID()] = p.Block
+	// Count the attached proof-of-lock prevotes; each is verified like any
+	// other vote (duplicates of prevotes we already hold are rejected
+	// harmlessly). A vote may commit the height mid-loop, so re-check.
+	for i := range p.POLVotes {
+		if n.height != p.Height || n.stopped {
+			return
+		}
+		n.onVote(p.POLVotes[i])
+	}
+	if n.height != p.Height || n.stopped {
+		return
+	}
 	n.tryPrevote()
 	n.recheckQuorums()
 }
@@ -434,9 +629,15 @@ func (n *Node) precommitSet(h uint64, r int) *voteSet {
 
 func (n *Node) onVote(v Vote) {
 	if v.Height != n.height {
+		n.tm.voteRejected.With("stale_height").Inc()
+		return
+	}
+	if v.Type != VotePrevote && v.Type != VotePrecommit {
+		n.tm.voteRejected.With("malformed").Inc()
 		return
 	}
 	if VerifyVote(&v, n.set) != nil {
+		n.tm.voteRejected.With("bad_signature").Inc()
 		return
 	}
 	val, _ := n.set.ByAddr(v.Voter)
@@ -447,8 +648,15 @@ func (n *Node) onVote(v Vote) {
 		vs = n.precommitSet(v.Height, v.Round)
 	}
 	if err := vs.add(v, val.Power); err != nil {
+		if errors.Is(err, ErrDuplicateVote) {
+			// Replayed or duplicated traffic: the tally is untouched, so a
+			// lossy-duplicating network can never double-count power.
+			n.tm.voteRejected.With("duplicate").Inc()
+			return
+		}
 		n.metrics.Equivocations++
 		n.tm.equivocations.Inc()
+		n.tm.voteRejected.With("equivocation").Inc()
 		return
 	}
 	if v.Type == VotePrevote {
@@ -459,10 +667,69 @@ func (n *Node) onVote(v Vote) {
 	n.recheckQuorums()
 }
 
+// roundSkipTarget returns the lowest round above the current one in
+// which validators holding more than 1/3 of total power have voted.
+// At least one of them is honest, so that round is live and this node
+// should catch up to it (the Tendermint round-skip rule). Without it,
+// faulty links can drift validators into disjoint rounds whose timeout
+// schedules never re-align — a liveness stall the chaos harness hits
+// under corruption.
+func (n *Node) roundSkipTarget() (int, bool) {
+	skip := n.set.TotalPower()/3 + 1
+	later := make(map[int]struct{})
+	for r := range n.prevotes[n.height] {
+		if r > n.round {
+			later[r] = struct{}{}
+		}
+	}
+	for r := range n.precommit[n.height] {
+		if r > n.round {
+			later[r] = struct{}{}
+		}
+	}
+	if len(later) == 0 {
+		return 0, false
+	}
+	rounds := make([]int, 0, len(later))
+	for r := range later {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	for _, r := range rounds {
+		voters := make(map[keys.Address]bool)
+		if rs, ok := n.prevotes[n.height]; ok && rs[r] != nil {
+			for addr := range rs[r].votes {
+				voters[addr] = true
+			}
+		}
+		if rs, ok := n.precommit[n.height]; ok && rs[r] != nil {
+			for addr := range rs[r].votes {
+				voters[addr] = true
+			}
+		}
+		var power int64
+		for addr := range voters {
+			if val, ok := n.set.ByAddr(addr); ok {
+				power += val.Power
+			}
+		}
+		if power >= skip {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
 // recheckQuorums applies the quorum-driven transitions for the current
 // height. It is called after every proposal or vote arrival.
 func (n *Node) recheckQuorums() {
 	quorum := n.set.QuorumPower()
+
+	// Catch up to a later round that provably has honest participation.
+	if r, ok := n.roundSkipTarget(); ok {
+		n.startRound(r)
+		return
+	}
 
 	// A proposal that was waiting for its proof-of-lock prevotes may become
 	// actionable once those prevotes arrive.
@@ -537,9 +804,23 @@ func (n *Node) commit(b *ledger.Block, quorum []Vote) {
 	// Help laggards catch up, and retain the certificate for block sync.
 	cert := &Commit{Height: n.height, Block: b, Quorum: quorum}
 	n.certs[n.height] = cert
+	n.pruneCerts()
 	n.broadcast(KindCommit, cert)
 
 	n.advanceHeight()
+}
+
+// pruneCerts drops certificates that fell out of the sliding retention
+// window; those heights are served from the chain app instead.
+func (n *Node) pruneCerts() {
+	w := uint64(n.certWindow)
+	if w == 0 {
+		w = DefaultCertWindow
+	}
+	for n.certFloor+w <= n.height {
+		delete(n.certs, n.certFloor)
+		n.certFloor++
+	}
 }
 
 func (n *Node) advanceHeight() {
@@ -572,10 +853,16 @@ func (n *Node) replayFuture() {
 }
 
 func (n *Node) onCommit(c *Commit) {
+	if c.Block == nil {
+		n.tm.msgRejected.With("malformed").Inc()
+		return
+	}
 	if c.Height != n.height {
+		n.tm.msgRejected.With("stale_commit").Inc()
 		return
 	}
 	if err := VerifyCommit(c, n.set); err != nil {
+		n.tm.msgRejected.With("bad_certificate").Inc()
 		return
 	}
 	if err := n.app.CommitBlock(c.Block); err != nil {
@@ -583,6 +870,7 @@ func (n *Node) onCommit(c *Commit) {
 		return
 	}
 	n.certs[c.Height] = c
+	n.pruneCerts()
 	n.metrics.Committed++
 	now := n.net.Now()
 	n.tm.commits.Inc()

@@ -80,6 +80,9 @@ var (
 	// ErrEquivocation indicates two conflicting signed votes from one
 	// validator at the same height/round/type.
 	ErrEquivocation = errors.New("consensus: equivocation detected")
+	// ErrDuplicateVote indicates a vote identical to one already counted
+	// (a replayed or duplicated message, not an equivocation).
+	ErrDuplicateVote = errors.New("consensus: duplicate vote")
 	// ErrEmptyValidatorSet indicates a set with no members.
 	ErrEmptyValidatorSet = errors.New("consensus: empty validator set")
 )
@@ -162,6 +165,11 @@ func (s *ValidatorSet) Proposer(height uint64, round int) Validator {
 
 // Proposal is a proposer's signed block proposal for (height, round).
 // POLRound carries the proof-of-lock round (-1 when proposing fresh).
+// POLVotes carries the prevote quorum proving the lock, so receivers
+// that missed those prevotes (lossy or corrupting links) can still act
+// on the re-proposal instead of waiting forever. Each vote is
+// individually signed, so the field stays outside the proposal's own
+// sign bytes.
 type Proposal struct {
 	Height   uint64
 	Round    int
@@ -169,6 +177,7 @@ type Proposal struct {
 	Block    *ledger.Block
 	Proposer keys.Address
 	Sig      []byte
+	POLVotes []Vote
 }
 
 func proposalSignBytes(p *Proposal) []byte {
@@ -295,14 +304,16 @@ func newVoteSet() *voteSet {
 }
 
 // add records a vote. It returns ErrEquivocation if the voter already voted
-// for a different block at this (height, round, type).
+// for a different block at this (height, round, type), and ErrDuplicateVote
+// for an exact replay; in both cases the tally is unchanged, so duplicated
+// or replayed network traffic can never double-count voting power.
 func (vs *voteSet) add(v Vote, power int64) error {
 	prev, ok := vs.votes[v.Voter]
 	if ok {
 		if prev.BlockID != v.BlockID {
 			return fmt.Errorf("%w: %s voted %s then %s", ErrEquivocation, v.Voter.Short(), prev.BlockID.Short(), v.BlockID.Short())
 		}
-		return nil // duplicate
+		return ErrDuplicateVote
 	}
 	vs.votes[v.Voter] = v
 	vs.power[v.BlockID] += power

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/simnet"
+	"repro/internal/telemetry"
+)
+
+// E19Level is one fault-intensity cell of the chaos sweep.
+type E19Level struct {
+	// Name labels the table row.
+	Name string
+	// Links is applied to every link for the loaded phase of the run.
+	Links simnet.LinkConfig
+	// Garble additionally installs the vote-garbling corrupter, so
+	// CorruptRate flips consensus payloads instead of just dropping them.
+	Garble bool
+	// Crash mid-run checkpoints, kills and later restarts one replica.
+	Crash bool
+}
+
+// E19Config sizes the chaos fault-intensity sweep.
+type E19Config struct {
+	// Validators is the cluster size (3f+1 = 4 tolerates one fault).
+	Validators int
+	// Seed drives all randomness; a fixed seed makes every cell
+	// reproducible bit-for-bit.
+	Seed int64
+	// CertWindow bounds per-node commit-certificate retention.
+	CertWindow int
+	// Window is the virtual time each cell spends under client load and
+	// faults before the recovery clock starts.
+	Window time.Duration
+	// PumpEvery paces the synthetic client load.
+	PumpEvery time.Duration
+	// Levels is the fault-intensity ladder.
+	Levels []E19Level
+}
+
+// DefaultE19 returns the standard configuration: a clean baseline, then
+// duplication, then corruption on top, then corruption plus a
+// crash-restart cycle.
+func DefaultE19() E19Config {
+	lossy := simnet.LinkConfig{BaseLatency: 5 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	dup := lossy
+	dup.DuplicateRate = 0.25
+	corrupt := dup
+	corrupt.CorruptRate = 0.08
+	return E19Config{
+		Validators: 4,
+		Seed:       19,
+		CertWindow: 16,
+		Window:     1200 * time.Millisecond,
+		PumpEvery:  40 * time.Millisecond,
+		Levels: []E19Level{
+			{Name: "clean", Links: lossy},
+			{Name: "duplicate", Links: dup},
+			{Name: "corrupt", Links: corrupt, Garble: true},
+			{Name: "corrupt+crash", Links: corrupt, Garble: true, Crash: true},
+		},
+	}
+}
+
+// RunE19Chaos sweeps fault intensity over a durable 4-replica cluster in
+// virtual time: each cell runs client load under its fault level, then
+// lifts the faults and measures how much virtual time the cluster needs
+// to reconverge (every replica at the same height, no forks). Safety
+// violations abort the run; the recovery column quantifies the liveness
+// cost of each fault class.
+func RunE19Chaos(cfg E19Config) (*Table, error) {
+	t := &Table{
+		ID:     "E19",
+		Title:  "Chaos sweep: fault intensity vs recovery time",
+		Claim:  "the cluster commits through duplication, corruption and a crash, rejects every garbled artifact, and reconverges in bounded virtual time",
+		Header: []string{"level", "committed", "dup_msgs", "corrupt_msgs", "votes_rejected", "recovery_ms"},
+	}
+	for _, lvl := range cfg.Levels {
+		row, err := e19Cell(cfg, lvl)
+		if err != nil {
+			return nil, fmt.Errorf("e19 %s: %w", lvl.Name, err)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func e19Cell(cfg E19Config, lvl E19Level) ([]string, error) {
+	dir, err := os.MkdirTemp("", "e19-"+lvl.Name+"-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	reg := telemetry.New()
+	h, err := chaos.New(chaos.Config{
+		Validators: cfg.Validators,
+		Seed:       cfg.Seed,
+		Dir:        dir,
+		CertWindow: cfg.CertWindow,
+		Links:      lvl.Links,
+		Telemetry:  reg,
+		PumpEvery:  cfg.PumpEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	if lvl.Garble {
+		h.Cluster.Net.SetCorrupter(chaos.GarbleVotes)
+	}
+
+	if err := h.RunFor(cfg.Window / 2); err != nil {
+		return nil, err
+	}
+	if lvl.Crash {
+		if err := h.Checkpoint(1); err != nil {
+			return nil, err
+		}
+		if err := h.Crash(1); err != nil {
+			return nil, err
+		}
+	}
+	if err := h.RunFor(cfg.Window / 2); err != nil {
+		return nil, err
+	}
+	if lvl.Crash {
+		if err := h.Restart(1); err != nil {
+			return nil, err
+		}
+	}
+
+	// Lift the faults and time reconvergence in virtual milliseconds.
+	h.Cluster.Net.SetAllLinks(simnet.DefaultLink)
+	h.Cluster.Net.SetCorrupter(nil)
+	before := h.Cluster.Net.Now()
+	if err := h.WaitConverge(2 * time.Minute); err != nil {
+		return nil, err
+	}
+	recovery := h.Cluster.Net.Now() - before
+
+	stats := h.Cluster.Net.Stats()
+	voteRej := reg.CounterVec("trustnews_consensus_votes_rejected_total", "", "reason")
+	rejected := voteRej.With("duplicate").Value() + voteRej.With("bad_signature").Value()
+	return []string{
+		lvl.Name,
+		fmt.Sprintf("%d", h.CommittedHeight()),
+		fmt.Sprintf("%d", stats.Duplicated),
+		fmt.Sprintf("%d", stats.Corrupted),
+		fmt.Sprintf("%d", rejected),
+		f1(float64(recovery.Microseconds()) / 1000),
+	}, nil
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // cell parses a table cell as float.
@@ -437,5 +438,34 @@ func TestE17TelemetryOverheadSmall(t *testing.T) {
 	// anywhere from ~0% to ~12% on a single shared core.
 	if over := cell(t, tbl, 1, 2); over > 40 {
 		t.Fatalf("enabled telemetry costs %.1f%% commit throughput; want small", over)
+	}
+}
+
+func TestE19ChaosSweepSmall(t *testing.T) {
+	cfg := DefaultE19()
+	cfg.Window = 600 * time.Millisecond
+	tbl, err := RunE19Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows=%d want 4 (clean/duplicate/corrupt/corrupt+crash)", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		if committed := cell(t, tbl, i, 1); committed <= 0 {
+			t.Fatalf("%s: committed %.0f heights", row[0], committed)
+		}
+		if rec := cell(t, tbl, i, 5); rec <= 0 {
+			t.Fatalf("%s: recovery %.1f ms", row[0], rec)
+		}
+	}
+	// The faulted cells must actually have seen faults and rejected them.
+	for i := 1; i < 4; i++ {
+		if cell(t, tbl, i, 2) == 0 {
+			t.Fatalf("%s: no duplicated messages", tbl.Rows[i][0])
+		}
+		if cell(t, tbl, i, 4) == 0 {
+			t.Fatalf("%s: no rejected votes", tbl.Rows[i][0])
+		}
 	}
 }

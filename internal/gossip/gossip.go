@@ -58,6 +58,15 @@ type Config struct {
 	Fanout int
 	// MaxHops bounds forwarding depth; zero means unlimited.
 	MaxHops int
+	// AntiEntropyInterval enables periodic anti-entropy rounds on the
+	// network's virtual clock (see StartAntiEntropy). Zero keeps rounds
+	// manual (AntiEntropyRound).
+	AntiEntropyInterval time.Duration
+	// AntiEntropyJitter adds a uniform random delay in [0, Jitter) to
+	// each round, drawn from the network's seeded RNG, so repair rounds
+	// do not synchronize with other periodic traffic. Zero defaults to
+	// half the interval.
+	AntiEntropyJitter time.Duration
 }
 
 // Mesh is a gossip overlay across a set of simnet nodes. Create with New,
@@ -239,6 +248,33 @@ func (g *Mesh) pickTargets(self simnet.NodeID) []simnet.NodeID {
 		k = len(cand)
 	}
 	return cand[:k]
+}
+
+// StartAntiEntropy begins the periodic anti-entropy schedule, anchored
+// on the given node's virtual-time timer queue. Rounds repeat every
+// AntiEntropyInterval plus a seeded jitter draw, so the cadence is
+// deterministic for a fixed network seed but spread out relative to
+// other periodic traffic. No-op when the interval is zero.
+func (g *Mesh) StartAntiEntropy(anchor simnet.NodeID) {
+	if g.cfg.AntiEntropyInterval <= 0 {
+		return
+	}
+	g.scheduleAntiEntropy(anchor)
+}
+
+func (g *Mesh) scheduleAntiEntropy(anchor simnet.NodeID) {
+	d := g.cfg.AntiEntropyInterval
+	jitter := g.cfg.AntiEntropyJitter
+	if jitter <= 0 {
+		jitter = d / 2
+	}
+	if jitter > 0 {
+		d += time.Duration(g.net.Rand().Int63n(int64(jitter)))
+	}
+	g.net.After(anchor, d, func() {
+		g.AntiEntropyRound()
+		g.scheduleAntiEntropy(anchor)
+	})
 }
 
 // AntiEntropyRound makes every node send its digest to one random peer.

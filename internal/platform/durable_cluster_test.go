@@ -1,0 +1,146 @@
+package platform
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/supplychain"
+)
+
+func newDurableCluster(t *testing.T, n int, seed int64) *DurableCluster {
+	t.Helper()
+	d, err := NewDurableCluster(DurableClusterConfig{
+		Validators: n,
+		Seed:       seed,
+		Dir:        t.TempDir(),
+		Platform:   DefaultConfig(),
+		CertWindow: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// pumpDurable submits a batch of publishes to the live replicas.
+func pumpDurable(t *testing.T, d *DurableCluster, kp *keys.KeyPair, fromNonce uint64, count int) uint64 {
+	t.Helper()
+	nonce := fromNonce
+	for i := 0; i < count; i++ {
+		payload, err := supplychain.PublishPayload(
+			"durable-item-"+strconv.FormatUint(nonce, 10), corpus.TopicPolitics,
+			"the committee published finding "+strconv.FormatUint(nonce, 10), nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, err := ledger.NewTx(kp, nonce, "news.publish", payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.SubmitLive(tx); got == 0 {
+			t.Fatalf("no live replica accepted tx %d", nonce)
+		}
+		nonce++
+	}
+	return nonce
+}
+
+// TestDurableClusterCrashRestartRecovers kills one replica mid-run (after
+// a checkpoint), lets the survivors commit on, then restarts it and
+// checks it recovers from disk, backfills the missed heights through
+// consensus sync, and converges to the survivors' state root.
+func TestDurableClusterCrashRestartRecovers(t *testing.T) {
+	d := newDurableCluster(t, 4, 7)
+	client := keys.FromSeed([]byte("durable-client"))
+	nonce := pumpDurable(t, d, client, 0, 6)
+	d.Start()
+	if spent := d.RunUntilLiveHeight(6, 2*time.Minute); d.LiveMinHeight() < 6 {
+		t.Fatalf("cluster stalled at height %d after %v", d.LiveMinHeight(), spent)
+	}
+
+	// Checkpoint then crash replica 2; the survivors keep committing.
+	if err := d.Checkpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	crashedAt := d.Replicas[2].Chain().Height()
+	if err := d.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if d.LiveCount() != 3 {
+		t.Fatalf("live count %d want 3", d.LiveCount())
+	}
+	nonce = pumpDurable(t, d, client, nonce, 6)
+	target := crashedAt + 8
+	if d.RunUntilLiveHeight(target, 2*time.Minute); d.LiveMinHeight() < target {
+		t.Fatalf("survivors stalled at height %d want %d", d.LiveMinHeight(), target)
+	}
+
+	// Restart: reopen from checkpoint + WAL tail, rejoin, catch up.
+	if err := d.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Replicas[2].Chain().Height(); got < crashedAt-1 || got > crashedAt {
+		// The last block may race the crash's final fsync; anything in
+		// [crashedAt-1, crashedAt] is a sound recovery.
+		t.Fatalf("recovered height %d, crashed at %d", got, crashedAt)
+	}
+	if d.Replicas[2].CheckpointHeight() == 0 {
+		t.Fatal("restart ignored the checkpoint (full replay)")
+	}
+	catchup := d.LiveMaxHeight() + 2
+	if d.RunUntilLiveHeight(catchup, 2*time.Minute); d.LiveMinHeight() < catchup {
+		t.Fatalf("restarted replica stalled at height %d want %d",
+			d.Replicas[2].Chain().Height(), catchup)
+	}
+	ok, err := d.ConvergedLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("replicas diverged after crash-restart")
+	}
+	// Committed-durability: every pre-crash item survived into the
+	// restarted replica's graph.
+	if d.Replicas[2].Graph().Len() == 0 {
+		t.Fatal("restarted replica lost its supply-chain index")
+	}
+	_ = nonce
+}
+
+// TestDurableClusterRestartWithoutCheckpoint crashes a replica that never
+// wrote a checkpoint and checks the full-replay restart path also rejoins
+// and converges.
+func TestDurableClusterRestartWithoutCheckpoint(t *testing.T) {
+	d := newDurableCluster(t, 4, 11)
+	client := keys.FromSeed([]byte("durable-client-2"))
+	pumpDurable(t, d, client, 0, 4)
+	d.Start()
+	if d.RunUntilLiveHeight(4, 2*time.Minute); d.LiveMinHeight() < 4 {
+		t.Fatalf("cluster stalled at height %d", d.LiveMinHeight())
+	}
+	if err := d.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.RunUntilLiveHeight(8, 2*time.Minute); d.LiveMinHeight() < 8 {
+		t.Fatalf("survivors stalled at height %d", d.LiveMinHeight())
+	}
+	if err := d.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Replicas[1].CheckpointHeight() != 0 {
+		t.Fatal("unexpected checkpoint on full-replay path")
+	}
+	catchup := d.LiveMaxHeight() + 2
+	if d.RunUntilLiveHeight(catchup, 2*time.Minute); d.LiveMinHeight() < catchup {
+		t.Fatalf("restarted replica stalled at height %d", d.Replicas[1].Chain().Height())
+	}
+	ok, err := d.ConvergedLive()
+	if err != nil || !ok {
+		t.Fatalf("converged=%v err=%v", ok, err)
+	}
+}

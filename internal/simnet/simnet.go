@@ -52,6 +52,20 @@ type LinkConfig struct {
 	Jitter time.Duration
 	// LossRate is the probability in [0,1) that a message is dropped.
 	LossRate float64
+	// CorruptRate is the probability in [0,1) that a message is passed
+	// through the network's corrupter before delivery (see SetCorrupter).
+	// Corruption models bit-flips in transit: the message still arrives,
+	// but its payload no longer matches what the sender signed or encoded.
+	CorruptRate float64
+	// DuplicateRate is the probability in [0,1) that a second copy of the
+	// message is delivered, with an independently sampled delay.
+	DuplicateRate float64
+	// ReorderRate is the probability in [0,1) that a message is held back
+	// by ReorderDelay, letting later traffic overtake it.
+	ReorderRate float64
+	// ReorderDelay is the extra hold-back applied to reordered messages
+	// (zero defaults to 4x BaseLatency plus the full jitter span).
+	ReorderDelay time.Duration
 }
 
 // DefaultLink is used for node pairs without an explicit link config:
@@ -101,6 +115,15 @@ type Stats struct {
 	Sent      int
 	Delivered int
 	Dropped   int
+	// Corrupted counts messages garbled in transit (delivered anyway).
+	Corrupted int
+	// Duplicated counts extra copies injected by DuplicateRate.
+	Duplicated int
+	// Reordered counts messages held back by ReorderRate.
+	Reordered int
+	// DroppedDetached counts messages lost because an endpoint was
+	// detached (subset of Dropped).
+	DroppedDetached int
 	// Bytes is approximated by caller-provided message sizes; zero if the
 	// caller never sets sizes.
 	Bytes int64
@@ -118,8 +141,10 @@ type Network struct {
 	handlers  map[NodeID]Handler
 	links     map[linkKey]LinkConfig
 	partition map[NodeID]int // partition group per node; absent = group 0
+	detached  map[NodeID]bool
 	stats     Stats
 	sizer     func(Message) int
+	corrupter func(Message) Message
 }
 
 // New creates a network seeded for reproducibility.
@@ -129,6 +154,7 @@ func New(seed int64) *Network {
 		handlers:  make(map[NodeID]Handler),
 		links:     make(map[linkKey]LinkConfig),
 		partition: make(map[NodeID]int),
+		detached:  make(map[NodeID]bool),
 	}
 }
 
@@ -195,6 +221,27 @@ func (n *Network) Partition(groups ...[]NodeID) {
 // Heal removes any partition.
 func (n *Network) Heal() { n.partition = make(map[NodeID]int) }
 
+// Detach takes a node off the network: messages to or from it are dropped
+// until Reattach, modelling a crashed or unplugged machine. The node's
+// handler registration and identity are preserved, so it can return with
+// the same id. Local timers still fire (a crashed process's timers are the
+// caller's concern, e.g. a stopped consensus node ignores them).
+func (n *Network) Detach(id NodeID) { n.detached[id] = true }
+
+// Reattach reverses Detach. Messages already lost while detached stay
+// lost, as on a real network.
+func (n *Network) Reattach(id NodeID) { delete(n.detached, id) }
+
+// Detached reports whether the node is currently detached.
+func (n *Network) Detached(id NodeID) bool { return n.detached[id] }
+
+// SetCorrupter installs the function applied to messages selected by a
+// link's CorruptRate. Nil restores the default corrupter, which nils the
+// payload (the typed equivalent of an undecodable frame). Protocol-aware
+// corrupters (e.g. flipping fields inside a signed vote) can be installed
+// to exercise specific rejection paths.
+func (n *Network) SetCorrupter(f func(Message) Message) { n.corrupter = f }
+
 // Now returns the current virtual time.
 func (n *Network) Now() time.Duration { return n.now }
 
@@ -220,6 +267,11 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 	if n.sizer != nil {
 		n.stats.Bytes += int64(n.sizer(msg))
 	}
+	if n.detached[from] || n.detached[to] {
+		n.stats.Dropped++
+		n.stats.DroppedDetached++
+		return nil
+	}
 	if n.partition[from] != n.partition[to] {
 		n.stats.Dropped++
 		return nil
@@ -232,12 +284,43 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 		n.stats.Dropped++
 		return nil
 	}
+	if cfg.CorruptRate > 0 && n.rng.Float64() < cfg.CorruptRate {
+		msg = n.corrupt(msg)
+		n.stats.Corrupted++
+	}
+	if cfg.DuplicateRate > 0 && n.rng.Float64() < cfg.DuplicateRate {
+		n.stats.Duplicated++
+		n.push(&event{at: n.now + n.linkDelay(cfg), kind: eventDeliver, msg: msg})
+	}
+	delay := n.linkDelay(cfg)
+	if cfg.ReorderRate > 0 && n.rng.Float64() < cfg.ReorderRate {
+		n.stats.Reordered++
+		extra := cfg.ReorderDelay
+		if extra <= 0 {
+			extra = 4*cfg.BaseLatency + cfg.Jitter
+		}
+		delay += extra
+	}
+	n.push(&event{at: n.now + delay, kind: eventDeliver, msg: msg})
+	return nil
+}
+
+// linkDelay samples one delivery delay for the link.
+func (n *Network) linkDelay(cfg LinkConfig) time.Duration {
 	delay := cfg.BaseLatency
 	if cfg.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
 	}
-	n.push(&event{at: n.now + delay, kind: eventDeliver, msg: msg})
-	return nil
+	return delay
+}
+
+// corrupt applies the installed (or default) corrupter to a message.
+func (n *Network) corrupt(m Message) Message {
+	if n.corrupter != nil {
+		return n.corrupter(m)
+	}
+	m.Payload = nil
+	return m
 }
 
 // Broadcast sends to every other node.
@@ -276,6 +359,13 @@ func (n *Network) Step() bool {
 	case eventDeliver:
 		h, ok := n.handlers[ev.msg.To]
 		if !ok {
+			return true
+		}
+		// In-flight messages addressed to a node that detached after the
+		// send are lost, as on a real crash.
+		if n.detached[ev.msg.To] {
+			n.stats.Dropped++
+			n.stats.DroppedDetached++
 			return true
 		}
 		n.stats.Delivered++

@@ -294,3 +294,136 @@ func TestNodesSorted(t *testing.T) {
 		t.Fatalf("nodes=%v", got)
 	}
 }
+
+func TestDuplicateRateDeliversCopies(t *testing.T) {
+	n := New(9)
+	delivered := 0
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(Message) { delivered++ })
+	n.SetLink("a", "b", LinkConfig{BaseLatency: time.Millisecond, DuplicateRate: 0.999999})
+	for i := 0; i < 50; i++ {
+		n.Send("a", "b", "x", nil)
+	}
+	n.Run(0)
+	st := n.Stats()
+	if st.Duplicated != 50 {
+		t.Fatalf("duplicated=%d, want 50", st.Duplicated)
+	}
+	if delivered != 100 {
+		t.Fatalf("delivered=%d, want 100", delivered)
+	}
+}
+
+func TestCorruptRateGarblesPayload(t *testing.T) {
+	n := New(3)
+	var got []any
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(m Message) { got = append(got, m.Payload) })
+	n.SetLink("a", "b", LinkConfig{BaseLatency: time.Millisecond, CorruptRate: 0.999999})
+	n.Send("a", "b", "x", "payload")
+	n.Run(0)
+	if n.Stats().Corrupted != 1 {
+		t.Fatalf("corrupted=%d, want 1", n.Stats().Corrupted)
+	}
+	if len(got) != 1 || got[0] != nil {
+		t.Fatalf("default corrupter should nil the payload, got %v", got)
+	}
+
+	// A protocol-aware corrupter replaces the payload instead.
+	n.SetCorrupter(func(m Message) Message {
+		m.Payload = "garbled"
+		return m
+	})
+	got = nil
+	n.Send("a", "b", "x", "payload")
+	n.Run(0)
+	if len(got) != 1 || got[0] != "garbled" {
+		t.Fatalf("custom corrupter not applied, got %v", got)
+	}
+}
+
+func TestReorderRateHoldsMessagesBack(t *testing.T) {
+	n := New(5)
+	var got []string
+	n.AddNode("a", func(Message) {})
+	n.AddNode("b", func(m Message) { got = append(got, m.Kind) })
+	// First message is always reordered (+4x base latency), second is sent
+	// on a clean link and overtakes it.
+	n.SetLink("a", "b", LinkConfig{BaseLatency: 10 * time.Millisecond, ReorderRate: 0.999999})
+	n.Send("a", "b", "held", nil)
+	n.SetLink("a", "b", LinkConfig{BaseLatency: 10 * time.Millisecond})
+	n.Send("a", "b", "fresh", nil)
+	n.Run(0)
+	if n.Stats().Reordered != 1 {
+		t.Fatalf("reordered=%d, want 1", n.Stats().Reordered)
+	}
+	if len(got) != 2 || got[0] != "fresh" || got[1] != "held" {
+		t.Fatalf("got %v, want [fresh held]", got)
+	}
+}
+
+func TestDetachDropsBothDirectionsAndInFlight(t *testing.T) {
+	n := New(11)
+	delivered := 0
+	n.AddNode("a", func(Message) { delivered++ })
+	n.AddNode("b", func(Message) { delivered++ })
+	n.SetLink("a", "b", LinkConfig{BaseLatency: 10 * time.Millisecond})
+	n.SetLink("b", "a", LinkConfig{BaseLatency: 10 * time.Millisecond})
+
+	// In flight at detach time: lost.
+	n.Send("a", "b", "inflight", nil)
+	n.Detach("b")
+	if !n.Detached("b") {
+		t.Fatal("b should report detached")
+	}
+	// Sends to and from a detached node: lost.
+	n.Send("a", "b", "to-detached", nil)
+	n.Send("b", "a", "from-detached", nil)
+	n.Run(0)
+	if delivered != 0 {
+		t.Fatalf("delivered=%d, want 0", delivered)
+	}
+	st := n.Stats()
+	if st.DroppedDetached != 3 || st.Dropped != 3 {
+		t.Fatalf("dropped=%d detached=%d, want 3/3", st.Dropped, st.DroppedDetached)
+	}
+
+	// Reattach restores delivery with the same identity.
+	n.Reattach("b")
+	n.Send("a", "b", "after", nil)
+	n.Run(0)
+	if delivered != 1 {
+		t.Fatalf("delivered=%d after reattach, want 1", delivered)
+	}
+}
+
+func TestFaultInjectionDeterministicFromSeed(t *testing.T) {
+	run := func() (Stats, []string) {
+		n := New(99)
+		var got []string
+		n.AddNode("a", func(Message) {})
+		n.AddNode("b", func(m Message) { got = append(got, m.Kind) })
+		n.SetLink("a", "b", LinkConfig{
+			BaseLatency: 2 * time.Millisecond, Jitter: 3 * time.Millisecond,
+			LossRate: 0.2, CorruptRate: 0.2, DuplicateRate: 0.2, ReorderRate: 0.2,
+		})
+		for i := 0; i < 200; i++ {
+			n.Send("a", "b", "m", i)
+		}
+		n.Run(0)
+		return n.Stats(), got
+	}
+	s1, g1 := run()
+	s2, g2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
+	}
+	if len(g1) != len(g2) {
+		t.Fatalf("deliveries diverged: %d vs %d", len(g1), len(g2))
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("delivery %d diverged", i)
+		}
+	}
+}

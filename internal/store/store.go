@@ -188,13 +188,27 @@ func (m *MemKV) Close() error { return nil }
 // File-backed log with CRC framing.
 // ---------------------------------------------------------------------------
 
+// logFile is the file abstraction FileLog runs on. *os.File implements
+// it; tests substitute fault-injecting wrappers to exercise short
+// writes, fsync failures and torn frames without touching a real dying
+// disk (see faultlog_test.go).
+type logFile interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
 // FileLog is an append-only log persisted to a single file. Each record is
 // framed as [len uint32][crc32 uint32][payload]. On open, the file is
 // replayed; a torn final record is truncated, while a corrupt interior
 // record fails open with ErrCorrupt (tamper evidence).
 type FileLog struct {
 	mu      sync.RWMutex
-	f       *os.File
+	f       logFile
 	w       *bufio.Writer
 	offsets []int64 // byte offset of each record frame
 	sizes   []uint32
@@ -209,6 +223,13 @@ func OpenFileLog(path string) (*FileLog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open log: %w", err)
 	}
+	return newFileLogOn(f)
+}
+
+// newFileLogOn replays an already-open file into a FileLog. Production
+// callers go through OpenFileLog; fault-injection tests hand in wrapped
+// files. The file is closed on replay failure.
+func newFileLogOn(f logFile) (*FileLog, error) {
 	l := &FileLog{f: f}
 	if err := l.replay(); err != nil {
 		f.Close()
@@ -286,20 +307,34 @@ func (l *FileLog) Append(rec []byte) (uint64, error) {
 		off = l.offsets[n-1] + 8 + int64(l.sizes[n-1])
 	}
 	if _, err := l.w.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("store: append header: %w", err)
+		return 0, l.appendFailed("append header", err, off)
 	}
 	if _, err := l.w.Write(rec); err != nil {
-		return 0, fmt.Errorf("store: append payload: %w", err)
+		return 0, l.appendFailed("append payload", err, off)
 	}
 	if err := l.w.Flush(); err != nil {
-		return 0, fmt.Errorf("store: flush: %w", err)
+		return 0, l.appendFailed("flush", err, off)
 	}
 	if err := l.f.Sync(); err != nil {
-		return 0, fmt.Errorf("store: sync: %w", err)
+		return 0, l.appendFailed("sync", err, off)
 	}
 	l.offsets = append(l.offsets, off)
 	l.sizes = append(l.sizes, uint32(len(rec)))
 	return uint64(len(l.offsets) - 1), nil
+}
+
+// appendFailed recovers from a mid-append I/O failure: buffered bytes
+// are discarded and the file rolls back to the end of the last complete
+// record, so a partial frame never survives to corrupt the log and the
+// next Append retries cleanly. If the rollback itself fails (the disk is
+// truly gone), the torn frame is left behind for replay to truncate on
+// the next open — the same recovery as a crash mid-write.
+func (l *FileLog) appendFailed(stage string, cause error, off int64) error {
+	l.w.Reset(l.f)
+	if err := l.f.Truncate(off); err == nil {
+		_, _ = l.f.Seek(off, io.SeekStart)
+	}
+	return fmt.Errorf("store: %s: %w", stage, cause)
 }
 
 // Get implements Log.

@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race race-hot chaos bench-reopen
+.PHONY: tier1 build vet test race race-hot chaos e2e bench-reopen
 
-tier1: build vet race-hot chaos race
+tier1: build vet race-hot chaos e2e race
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,13 @@ race:
 # instrument handles, gossip fan-out, blob retrieval) before the full
 # suite runs.
 race-hot:
-	$(GO) test -race -count=1 ./internal/telemetry/... ./internal/commitbus/... ./internal/gossip/... ./internal/blobstore/... ./internal/ledger ./internal/consensus ./internal/simnet ./internal/chaos
+	$(GO) test -race -count=1 ./internal/telemetry/... ./internal/commitbus/... ./internal/gossip/... ./internal/blobstore/... ./internal/ledger ./internal/consensus ./internal/simnet ./internal/chaos ./internal/transport/...
+
+# Multi-process cluster test: builds the daemon, boots 4 validators over
+# loopback TCP, drives transactions through the HTTP API, and kill -9s a
+# node to check WAL recovery + consensus sync (bounded ~30s).
+e2e:
+	$(GO) test -count=1 -timeout 240s ./internal/e2e
 
 # Deterministic chaos scenarios (fixed seeds baked into the tests):
 # rolling restarts, partition+heal, crash-during-commit, corrupt links,

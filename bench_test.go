@@ -345,3 +345,14 @@ func BenchmarkE19ChaosSweep(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE20WireTransport(b *testing.B) {
+	cfg := experiments.DefaultE20()
+	cfg.Txs, cfg.Senders = 120, 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE20Wire(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

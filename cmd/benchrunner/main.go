@@ -213,6 +213,13 @@ func run(quick bool, only, jsonPath string) error {
 			}
 			return experiments.RunE19Chaos(cfg)
 		}},
+		{"E20", func(q bool) (*experiments.Table, error) {
+			cfg := experiments.DefaultE20()
+			if q {
+				cfg.Txs, cfg.Senders = 120, 8
+			}
+			return experiments.RunE20Wire(cfg)
+		}},
 	}
 	dump := jsonDump{Quick: quick, Results: []jsonResult{}}
 	for _, r := range runners {

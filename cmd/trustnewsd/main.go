@@ -8,6 +8,14 @@
 //	go run ./cmd/trustnewsd -addr :8080 -seed-demo
 //	go run ./cmd/trustnewsd -data /var/lib/trustnews -checkpoint-interval 5m
 //
+// With -node-id/-peers the daemon instead joins a replicated cluster:
+// validators talk BFT consensus over TCP, blocks are decided by quorum
+// and every node applies the same chain. Each validator needs its own
+// -data directory:
+//
+//	go run ./cmd/trustnewsd -node-id p0 -data /var/lib/tn0 -addr :8080 \
+//	    -peers p0=127.0.0.1:9000,p1=127.0.0.1:9001,p2=127.0.0.1:9002,p3=127.0.0.1:9003
+//
 // Then, for example:
 //
 //	curl localhost:8080/v1/chain
@@ -28,28 +36,57 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/aidetect"
+	"repro/internal/consensus"
 	"repro/internal/corpus"
 	"repro/internal/httpapi"
+	"repro/internal/ledger"
 	"repro/internal/platform"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
+	"repro/internal/transport/tcp"
+	"repro/internal/transport/wire"
 )
 
+// options collects the daemon configuration parsed from flags.
+type options struct {
+	addr       string
+	seedDemo   bool
+	corpusSeed int64
+	dataDir    string
+	blobDir    string
+	ckptEvery  time.Duration
+	pprofAddr  string
+
+	// Cluster mode (all empty/zero = standalone node).
+	nodeID        string
+	listen        string
+	peers         string
+	blockInterval time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	seedDemo := flag.Bool("seed-demo", false, "seed a demo factual database")
-	corpusSeed := flag.Int64("corpus-seed", 1, "training corpus seed")
-	dataDir := flag.String("data", "", "durable data directory (empty = in-memory node)")
-	blobDir := flag.String("blob-dir", "", "off-chain article body store directory (default <data>/blobs for durable nodes, in-memory otherwise)")
-	ckptEvery := flag.Duration("checkpoint-interval", 5*time.Minute, "how often a durable node checkpoints derived state (0 disables)")
-	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it private)")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	flag.BoolVar(&o.seedDemo, "seed-demo", false, "seed a demo factual database (standalone mode only)")
+	flag.Int64Var(&o.corpusSeed, "corpus-seed", 1, "training corpus seed")
+	flag.StringVar(&o.dataDir, "data", "", "durable data directory (empty = in-memory node)")
+	flag.StringVar(&o.blobDir, "blob-dir", "", "off-chain article body store directory (default <data>/blobs for durable nodes, in-memory otherwise)")
+	flag.DurationVar(&o.ckptEvery, "checkpoint-interval", 5*time.Minute, "how often a durable node checkpoints derived state (0 disables)")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it private)")
+	flag.StringVar(&o.nodeID, "node-id", "", "validator identity (p0..p{n-1}); enables cluster mode")
+	flag.StringVar(&o.listen, "listen", "", "consensus TCP listen address (default: this node's -peers entry)")
+	flag.StringVar(&o.peers, "peers", "", "full validator address map, id=host:port comma-separated, self included")
+	flag.DurationVar(&o.blockInterval, "block-interval", 200*time.Millisecond, "cluster block pacing (consensus commit timeout)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *seedDemo, *corpusSeed, *dataDir, *blobDir, *ckptEvery, *pprofAddr); err != nil {
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "trustnewsd:", err)
 		os.Exit(1)
 	}
@@ -58,7 +95,7 @@ func main() {
 // run boots the node and serves until ctx is cancelled (SIGINT/SIGTERM in
 // production), then shuts the HTTP server down gracefully and, for durable
 // nodes, flushes a final checkpoint so the next start replays nothing.
-func run(ctx context.Context, addr string, seedDemo bool, corpusSeed int64, dataDir, blobDir string, ckptEvery time.Duration, pprofAddr string) error {
+func run(ctx context.Context, o options) error {
 	var (
 		p   *platform.Platform
 		err error
@@ -67,25 +104,25 @@ func run(ctx context.Context, addr string, seedDemo bool, corpusSeed int64, data
 	// The daemon always carries a live registry: metrics cost next to
 	// nothing and /v1/metrics is part of the serving surface.
 	cfg.Telemetry = telemetry.New()
-	if blobDir != "" {
-		if err := os.MkdirAll(blobDir, 0o755); err != nil {
+	if o.blobDir != "" {
+		if err := os.MkdirAll(o.blobDir, 0o755); err != nil {
 			return err
 		}
-		cfg.BlobDir = blobDir
+		cfg.BlobDir = o.blobDir
 	}
-	if dataDir != "" {
-		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+	if o.dataDir != "" {
+		if err := os.MkdirAll(o.dataDir, 0o755); err != nil {
 			return err
 		}
 		var closeFn func() error
-		p, closeFn, err = platform.Open(dataDir, cfg)
+		p, closeFn, err = platform.Open(o.dataDir, cfg)
 		if err != nil {
 			return err
 		}
 		defer closeFn()
-		log.Printf("durable node at %s: height %d, checkpoint height %d, %d blobs", dataDir, p.Chain().Height(), p.CheckpointHeight(), p.Blobs().Stats().Blobs)
-		if ckptEvery > 0 {
-			go checkpointLoop(ctx, p, ckptEvery)
+		log.Printf("durable node at %s: height %d, checkpoint height %d, %d blobs", o.dataDir, p.Chain().Height(), p.CheckpointHeight(), p.Blobs().Stats().Blobs)
+		if o.ckptEvery > 0 {
+			go checkpointLoop(ctx, p, o.ckptEvery)
 		}
 	} else {
 		p, err = platform.New(cfg)
@@ -94,11 +131,18 @@ func run(ctx context.Context, addr string, seedDemo bool, corpusSeed int64, data
 		}
 	}
 	p.SetClock(time.Now) // live deployment: real block timestamps
-	gen := corpus.NewGenerator(corpusSeed)
+	gen := corpus.NewGenerator(o.corpusSeed)
 	if err := p.TrainClassifier(aidetect.NewLogisticRegression(), gen.Generate(500, 500).Statements); err != nil {
 		return err
 	}
-	if seedDemo && p.FactIndex().Len() == 0 {
+
+	clustered := o.nodeID != "" || o.peers != ""
+	if clustered && o.seedDemo {
+		// SeedFact commits standalone blocks, which replicated mode
+		// forbids (facts must arrive as consensus-decided txs).
+		return errors.New("-seed-demo is incompatible with cluster mode")
+	}
+	if o.seedDemo && p.FactIndex().Len() == 0 {
 		for i := 0; i < 25; i++ {
 			s := gen.Factual()
 			if err := p.SeedFact(s.ID, s.Topic, s.Text); err != nil {
@@ -107,12 +151,23 @@ func run(ctx context.Context, addr string, seedDemo bool, corpusSeed int64, data
 		}
 		log.Printf("seeded %d demo facts (root %s)", p.FactIndex().Len(), p.FactIndex().Root().Short())
 	}
-	if pprofAddr != "" {
-		go servePprof(pprofAddr)
+
+	if clustered {
+		tr, err := joinCluster(p, o)
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+	}
+
+	if o.pprofAddr != "" {
+		go servePprof(o.pprofAddr)
 	}
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           httpapi.New(p, true),
+		Addr: o.addr,
+		// Standalone nodes mine a block per accepted tx (synchronous
+		// semantics); clustered nodes let consensus drive commits.
+		Handler:           httpapi.New(p, !clustered),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -120,7 +175,7 @@ func run(ctx context.Context, addr string, seedDemo bool, corpusSeed int64, data
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("trustnewsd listening on %s (authority %s)", addr, p.Authority().Short())
+		log.Printf("trustnewsd listening on %s (authority %s)", o.addr, p.Authority().Short())
 		errCh <- srv.ListenAndServe()
 	}()
 	select {
@@ -138,13 +193,132 @@ func run(ctx context.Context, addr string, seedDemo bool, corpusSeed int64, data
 	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
 		return serveErr
 	}
-	if dataDir != "" && p.Chain().Height() != p.CheckpointHeight() {
+	if o.dataDir != "" && p.Chain().Height() != p.CheckpointHeight() {
 		if err := p.WriteCheckpoint(); err != nil {
 			return fmt.Errorf("final checkpoint: %w", err)
 		}
 		log.Printf("shutdown: final checkpoint at height %d", p.CheckpointHeight())
 	}
 	return nil
+}
+
+// joinCluster wires the platform into a TCP-backed consensus cluster:
+// it parses the validator address map, starts the transport, attaches a
+// consensus node, and installs the mempool relay so transactions
+// submitted to any node's HTTP API reach every proposer.
+func joinCluster(p *platform.Platform, o options) (*tcp.Transport, error) {
+	addrs, err := parsePeers(o.peers)
+	if err != nil {
+		return nil, err
+	}
+	if o.nodeID == "" {
+		return nil, errors.New("cluster mode needs -node-id")
+	}
+	self := transport.NodeID(o.nodeID)
+	if _, ok := addrs[self]; !ok {
+		return nil, fmt.Errorf("-peers has no entry for this node %q", self)
+	}
+	set, kps, err := platform.ClusterValidators(len(addrs))
+	if err != nil {
+		return nil, err
+	}
+	idx := -1
+	for i := range kps {
+		if platform.ValidatorID(i) == self {
+			idx = i
+		}
+		if _, ok := addrs[platform.ValidatorID(i)]; !ok {
+			return nil, fmt.Errorf("-peers must cover p0..p%d, missing %s", len(addrs)-1, platform.ValidatorID(i))
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("-node-id %q is not one of p0..p%d", self, len(addrs)-1)
+	}
+	listen := o.listen
+	if listen == "" {
+		listen = addrs[self]
+	}
+	peers := make(map[transport.NodeID]string, len(addrs)-1)
+	var peerIDs []transport.NodeID
+	for id, addr := range addrs {
+		if id == self {
+			continue
+		}
+		peers[id] = addr
+		peerIDs = append(peerIDs, id)
+	}
+	sort.Slice(peerIDs, func(i, j int) bool { return peerIDs[i] < peerIDs[j] })
+
+	tr, err := tcp.New(tcp.Config{
+		NodeID:  self,
+		Listen:  listen,
+		Peers:   peers,
+		Codec:   wire.Codec{},
+		Metrics: transport.NewMetrics(p.Telemetry()),
+	})
+	if err != nil {
+		return nil, err
+	}
+	tmo := consensus.DefaultTimeouts()
+	tmo.Commit = o.blockInterval
+	node, err := platform.AttachConsensus(p, self, kps[idx], set, tr, tmo)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	// Route consensus traffic to the node and relayed txs to the pool.
+	mux := transport.NewMux()
+	mux.Handle("consensus.", node.Handle)
+	mux.Handle(wire.KindMempoolTx, func(m transport.Message) {
+		if tx, ok := m.Payload.(*ledger.Tx); ok {
+			_ = p.SubmitRelayed(tx)
+		}
+	})
+	if err := tr.SetHandler(self, mux.Dispatch); err != nil {
+		tr.Close()
+		return nil, err
+	}
+	// Relay every locally accepted tx to all peers; losses are fine
+	// (the tx commits once any proposer has it).
+	p.SetOnSubmit(func(tx *ledger.Tx) {
+		for _, id := range peerIDs {
+			_ = tr.Send(self, id, wire.KindMempoolTx, tx)
+		}
+	})
+	if err := tr.Start(); err != nil {
+		tr.Close()
+		return nil, err
+	}
+	// Enter consensus from the transport's event loop at the recovered
+	// chain height, so a restarted validator picks up where it left off.
+	tr.After(self, 0, func() {
+		node.StartAt(p.Chain().Height())
+	})
+	log.Printf("cluster mode: validator %s of %d, consensus on %s, block interval %s", self, len(addrs), tr.Addr(), o.blockInterval)
+	return tr, nil
+}
+
+// parsePeers parses "p0=host:port,p1=host:port,..." into an address map.
+func parsePeers(s string) (map[transport.NodeID]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("cluster mode needs -peers (id=host:port,...)")
+	}
+	addrs := make(map[transport.NodeID]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("-peers entry %q is not id=host:port", part)
+		}
+		if _, dup := addrs[transport.NodeID(id)]; dup {
+			return nil, fmt.Errorf("-peers lists %s twice", id)
+		}
+		addrs[transport.NodeID(id)] = addr
+	}
+	return addrs, nil
 }
 
 // servePprof exposes the net/http/pprof handlers on their own mux and

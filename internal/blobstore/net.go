@@ -6,11 +6,11 @@ import (
 	"time"
 
 	"repro/internal/merkle"
-	"repro/internal/simnet"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
-// Simnet message kinds of the blob retrieval protocol. A node missing a
+// Transport message kinds of the blob retrieval protocol. A node missing a
 // blob asks a peer for the manifest first (verifiable on its own: the
 // chunk hashes fold to the CID), then pulls the chunks, verifying each
 // against its hash. Loss is handled by per-request timeouts and bounded
@@ -26,14 +26,14 @@ const (
 // ErrFetchFailed indicates a fetch that exhausted every peer.
 var ErrFetchFailed = errors.New("blobstore: fetch failed on all peers")
 
-// manifestReq asks a peer for a blob's manifest.
-type manifestReq struct {
+// ManifestReq asks a peer for a blob's manifest.
+type ManifestReq struct {
 	ID  uint64
 	CID CID
 }
 
-// manifestResp answers a manifestReq.
-type manifestResp struct {
+// ManifestResp answers a ManifestReq.
+type ManifestResp struct {
 	ID        uint64
 	Found     bool
 	Size      int
@@ -41,14 +41,14 @@ type manifestResp struct {
 	Chunks    []ChunkHash
 }
 
-// chunkReq asks a peer for one chunk by hash.
-type chunkReq struct {
+// ChunkReq asks a peer for one chunk by hash.
+type ChunkReq struct {
 	ID   uint64
 	Hash ChunkHash
 }
 
-// chunkResp answers a chunkReq.
-type chunkResp struct {
+// ChunkResp answers a ChunkReq.
+type ChunkResp struct {
 	ID    uint64
 	Found bool
 	Data  []byte
@@ -73,19 +73,19 @@ type FetchStats struct {
 	CorruptChunks int `json:"corruptChunks"`
 }
 
-// Peer binds a Store to a simnet node: it serves manifest and chunk
+// Peer binds a Store to a transport node: it serves manifest and chunk
 // requests from the store, and fetches missing blobs from other peers.
-// All interaction runs inside the simnet event loop, so no locking is
+// All interaction runs on the node's serialized event loop, so no locking is
 // needed beyond what Store provides.
 type Peer struct {
-	net   *simnet.Network
-	id    simnet.NodeID
+	net   transport.Network
+	id    transport.NodeID
 	store *Store
 	cfg   FetchConfig
 
 	nextReq   uint64
-	manifests map[uint64]func(manifestResp)
-	chunks    map[uint64]func(chunkResp)
+	manifests map[uint64]func(ManifestResp)
+	chunks    map[uint64]func(ChunkResp)
 	stats     FetchStats
 	tm        peerMetrics
 
@@ -96,7 +96,7 @@ type Peer struct {
 }
 
 // NewPeer creates a peer for the given node id over the network.
-func NewPeer(net *simnet.Network, id simnet.NodeID, store *Store, cfg FetchConfig) *Peer {
+func NewPeer(net transport.Network, id transport.NodeID, store *Store, cfg FetchConfig) *Peer {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 250 * time.Millisecond
 	}
@@ -108,8 +108,8 @@ func NewPeer(net *simnet.Network, id simnet.NodeID, store *Store, cfg FetchConfi
 		id:        id,
 		store:     store,
 		cfg:       cfg,
-		manifests: make(map[uint64]func(manifestResp)),
-		chunks:    make(map[uint64]func(chunkResp)),
+		manifests: make(map[uint64]func(ManifestResp)),
+		chunks:    make(map[uint64]func(ChunkResp)),
 	}
 }
 
@@ -142,8 +142,8 @@ func (p *Peer) Instrument(reg *telemetry.Registry) {
 	}
 }
 
-// ID returns the peer's simnet node id.
-func (p *Peer) ID() simnet.NodeID { return p.id }
+// ID returns the peer's transport node id.
+func (p *Peer) ID() transport.NodeID { return p.id }
 
 // Store returns the peer's underlying blob store.
 func (p *Peer) Store() *Store { return p.store }
@@ -156,16 +156,16 @@ func (p *Peer) Bind() error {
 	return p.net.AddNode(p.id, p.Handle)
 }
 
-// Handle processes one simnet message. Exposed so a node multiplexing
-// several protocols on one simnet id can route blob traffic here.
-func (p *Peer) Handle(m simnet.Message) {
+// Handle processes one transport message. Exposed so a node multiplexing
+// several protocols on one node id can route blob traffic here.
+func (p *Peer) Handle(m transport.Message) {
 	switch m.Kind {
 	case KindManifestReq:
-		req, ok := m.Payload.(manifestReq)
+		req, ok := m.Payload.(ManifestReq)
 		if !ok {
 			return
 		}
-		resp := manifestResp{ID: req.ID}
+		resp := ManifestResp{ID: req.ID}
 		if man, err := p.store.Stat(req.CID); err == nil {
 			resp.Found = true
 			resp.Size = man.Size
@@ -174,11 +174,11 @@ func (p *Peer) Handle(m simnet.Message) {
 		}
 		_ = p.net.Send(p.id, m.From, KindManifestResp, resp)
 	case KindChunkReq:
-		req, ok := m.Payload.(chunkReq)
+		req, ok := m.Payload.(ChunkReq)
 		if !ok {
 			return
 		}
-		resp := chunkResp{ID: req.ID}
+		resp := ChunkResp{ID: req.ID}
 		if data, ok := p.store.Chunk(req.Hash); ok {
 			if p.TamperChunk != nil {
 				data = p.TamperChunk(req.Hash, data)
@@ -189,7 +189,7 @@ func (p *Peer) Handle(m simnet.Message) {
 		}
 		_ = p.net.Send(p.id, m.From, KindChunkResp, resp)
 	case KindManifestResp:
-		resp, ok := m.Payload.(manifestResp)
+		resp, ok := m.Payload.(ManifestResp)
 		if !ok {
 			return
 		}
@@ -198,7 +198,7 @@ func (p *Peer) Handle(m simnet.Message) {
 			done(resp)
 		}
 	case KindChunkResp:
-		resp, ok := m.Payload.(chunkResp)
+		resp, ok := m.Payload.(ChunkResp)
 		if !ok {
 			return
 		}
@@ -219,7 +219,7 @@ func (p *Peer) Handle(m simnet.Message) {
 // against the current peer; then the fetch fails over to the next peer.
 // A corrupted chunk (hash mismatch) counts as a failed peer for that
 // chunk and is refetched from the next one.
-func (p *Peer) Fetch(cid CID, peers []simnet.NodeID, onDone func(body []byte, err error)) {
+func (p *Peer) Fetch(cid CID, peers []transport.NodeID, onDone func(body []byte, err error)) {
 	p.stats.Fetches++
 	// The Has guard keeps this from consulting the store's fallback —
 	// which may itself be implemented in terms of Fetch.
@@ -246,7 +246,7 @@ func (p *Peer) Fetch(cid CID, peers []simnet.NodeID, onDone func(body []byte, er
 type fetchState struct {
 	p      *Peer
 	cid    CID
-	peers  []simnet.NodeID
+	peers  []transport.NodeID
 	onDone func([]byte, error)
 	start  time.Duration
 
@@ -286,7 +286,7 @@ func (f *fetchState) requestManifest(peerIdx, attempt int) {
 	id := p.nextReq
 	p.nextReq++
 	answered := false
-	p.manifests[id] = func(resp manifestResp) {
+	p.manifests[id] = func(resp ManifestResp) {
 		answered = true
 		if f.done {
 			return
@@ -306,7 +306,7 @@ func (f *fetchState) requestManifest(peerIdx, attempt int) {
 		}
 		f.nextChunk(peerIdx)
 	}
-	_ = p.net.Send(p.id, f.peers[peerIdx], KindManifestReq, manifestReq{ID: id, CID: f.cid})
+	_ = p.net.Send(p.id, f.peers[peerIdx], KindManifestReq, ManifestReq{ID: id, CID: f.cid})
 	p.net.After(p.id, p.cfg.Timeout, func() {
 		if answered || f.done {
 			return
@@ -361,7 +361,7 @@ func (f *fetchState) requestChunk(h ChunkHash, preferred, cur, attempt int) {
 	id := p.nextReq
 	p.nextReq++
 	answered := false
-	p.chunks[id] = func(resp chunkResp) {
+	p.chunks[id] = func(resp ChunkResp) {
 		answered = true
 		if f.done {
 			return
@@ -381,7 +381,7 @@ func (f *fetchState) requestChunk(h ChunkHash, preferred, cur, attempt int) {
 		p.tm.failovers.Inc()
 		f.requestChunk(h, cur+1, cur+1, 0)
 	}
-	_ = p.net.Send(p.id, f.peers[cur], KindChunkReq, chunkReq{ID: id, Hash: h})
+	_ = p.net.Send(p.id, f.peers[cur], KindChunkReq, ChunkReq{ID: id, Hash: h})
 	p.net.After(p.id, p.cfg.Timeout, func() {
 		if answered || f.done {
 			return

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/keys"
 	"repro/internal/ledger"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Byzantine behaviours used in fault-injection tests. The paper's threat
@@ -17,22 +17,22 @@ import (
 type SilentNode struct{}
 
 // Bind registers a no-op handler for the node id.
-func (SilentNode) Bind(net *simnet.Network, id simnet.NodeID) error {
-	return net.AddNode(id, func(simnet.Message) {})
+func (SilentNode) Bind(net transport.Network, id transport.NodeID) error {
+	return net.AddNode(id, func(transport.Message) {})
 }
 
 // EquivocatorNode votes for two different blocks in every round: it echoes
 // whatever proposal it sees with a prevote and simultaneously prevotes an
 // arbitrary conflicting id, attempting to split honest nodes.
 type EquivocatorNode struct {
-	id  simnet.NodeID
+	id  transport.NodeID
 	kp  *keys.KeyPair
 	set *ValidatorSet
-	net *simnet.Network
+	net transport.Network
 }
 
 // NewEquivocator creates the double-voting validator.
-func NewEquivocator(id simnet.NodeID, kp *keys.KeyPair, set *ValidatorSet, net *simnet.Network) *EquivocatorNode {
+func NewEquivocator(id transport.NodeID, kp *keys.KeyPair, set *ValidatorSet, net transport.Network) *EquivocatorNode {
 	return &EquivocatorNode{id: id, kp: kp, set: set, net: net}
 }
 
@@ -43,7 +43,7 @@ func (e *EquivocatorNode) Bind() error {
 
 // Handle reacts to proposals by emitting conflicting prevotes and
 // precommits to different peers.
-func (e *EquivocatorNode) Handle(m simnet.Message) {
+func (e *EquivocatorNode) Handle(m transport.Message) {
 	p, ok := m.Payload.(*Proposal)
 	if !ok {
 		return
@@ -78,18 +78,18 @@ func (e *EquivocatorNode) Handle(m simnet.Message) {
 type DelayedNode struct {
 	Inner *Node
 	Delay time.Duration
-	net   *simnet.Network
-	id    simnet.NodeID
+	net   transport.Network
+	id    transport.NodeID
 }
 
 // NewDelayedNode wraps inner with the given processing delay.
-func NewDelayedNode(inner *Node, net *simnet.Network, id simnet.NodeID, delay time.Duration) *DelayedNode {
+func NewDelayedNode(inner *Node, net transport.Network, id transport.NodeID, delay time.Duration) *DelayedNode {
 	return &DelayedNode{Inner: inner, Delay: delay, net: net, id: id}
 }
 
 // Bind registers the delaying handler.
 func (d *DelayedNode) Bind() error {
-	return d.net.AddNode(d.id, func(m simnet.Message) {
+	return d.net.AddNode(d.id, func(m transport.Message) {
 		d.net.After(d.id, d.Delay, func() { d.Inner.Handle(m) })
 	})
 }

@@ -8,8 +8,8 @@ import (
 
 	"repro/internal/keys"
 	"repro/internal/ledger"
-	"repro/internal/simnet"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // App is the application driven by consensus: it builds blocks to propose,
@@ -32,6 +32,13 @@ type Timeouts struct {
 	Prevote   time.Duration
 	Precommit time.Duration
 	Delta     time.Duration
+	// Commit is an optional pause between committing a height and entering
+	// the next one (Tendermint's timeout_commit). Real deployments set it
+	// to pace block production so a crashed peer rejoins within the
+	// certificate sync window instead of facing a chain that raced ahead
+	// at network speed. Zero — the default and every virtual-time test —
+	// starts the next height immediately.
+	Commit time.Duration
 }
 
 // DefaultTimeouts suits the default simnet LAN profile.
@@ -49,6 +56,10 @@ type Metrics struct {
 	Committed     uint64
 	Rounds        int
 	Equivocations int
+	// SendErrors counts outbound messages the transport refused locally
+	// (unknown peer, full queue, closed transport). Losses in flight are
+	// not observable and surface as timeouts instead.
+	SendErrors    uint64
 	CommitLatency time.Duration // cumulative height start -> commit
 	lastHeightAt  time.Duration
 }
@@ -57,10 +68,10 @@ type Metrics struct {
 // its network handler with Bind, then Start it. All methods run on the
 // simnet event loop (single-threaded), so no internal locking is needed.
 type Node struct {
-	id  simnet.NodeID
+	id  transport.NodeID
 	kp  *keys.KeyPair
 	set *ValidatorSet
-	net *simnet.Network
+	net transport.Network
 	app App
 	tmo Timeouts
 
@@ -81,7 +92,7 @@ type Node struct {
 	// future buffers messages for heights we have not reached yet; they
 	// are replayed after each height advance. Without this, a node that
 	// commits late would drop the next height's proposal forever.
-	future []simnet.Message
+	future []transport.Message
 
 	// certs retains the commit certificates this node produced or
 	// received, keyed by height, so it can serve block sync to validators
@@ -100,6 +111,9 @@ type Node struct {
 
 	metrics Metrics
 	stopped bool
+	// paused is set while the node rests between committing a height and
+	// entering the next one (Timeouts.Commit); cleared by startRound.
+	paused bool
 
 	tm consensusMetrics
 	// roundStartAt is the virtual time the current round began; valid
@@ -122,6 +136,11 @@ type consensusMetrics struct {
 	equivocations *telemetry.Counter
 	roundSec      *telemetry.Histogram
 	heightSec     *telemetry.Histogram
+	// sends/sendErrors are the shared trustnews_transport_* series: the
+	// consensus layer is the counting point for message submission, the
+	// TCP writer adds async socket failures to the same error counter.
+	sends      *telemetry.Counter
+	sendErrors *telemetry.Counter
 }
 
 // Instrument registers the node's consensus metrics on reg (nil
@@ -140,6 +159,9 @@ func (n *Node) Instrument(reg *telemetry.Registry) {
 		roundSec:      reg.Histogram("trustnews_consensus_round_seconds", "Virtual-time duration of each consensus round.", nil),
 		heightSec:     reg.Histogram("trustnews_consensus_height_seconds", "Virtual time from height start to commit.", nil),
 	}
+	tm := transport.NewMetrics(reg)
+	n.tm.sends = tm.Sends
+	n.tm.sendErrors = tm.SendErrors
 }
 
 // KindSyncRequest asks a peer for the commit certificate of one height.
@@ -150,17 +172,17 @@ const KindSyncRequest = "consensus.syncreq"
 // oldest retained certificate at the top of the run.
 const KindSyncBlocks = "consensus.syncblocks"
 
-// syncRequest is the payload of KindSyncRequest.
-type syncRequest struct {
+// SyncRequest is the payload of KindSyncRequest.
+type SyncRequest struct {
 	Height uint64
 }
 
-// syncResponse is the payload of KindSyncBlocks. Blocks covers heights
+// SyncResponse is the payload of KindSyncBlocks. Blocks covers heights
 // [From, Cert.Height); Cert certifies the block that extends the run.
 // The receiver verifies the certificate and the hash linkage of the run
 // up to the certified block before applying anything, so the whole suffix
 // is as trustworthy as the certificate itself.
-type syncResponse struct {
+type SyncResponse struct {
 	From   uint64
 	Blocks []*ledger.Block
 	Cert   *Commit
@@ -185,7 +207,7 @@ type BlockFetcher interface {
 }
 
 // NewNode creates a consensus node for the validator identified by kp.
-func NewNode(id simnet.NodeID, kp *keys.KeyPair, set *ValidatorSet, net *simnet.Network, app App, tmo Timeouts) *Node {
+func NewNode(id transport.NodeID, kp *keys.KeyPair, set *ValidatorSet, net transport.Network, app App, tmo Timeouts) *Node {
 	return &Node{
 		id:          id,
 		kp:          kp,
@@ -247,6 +269,7 @@ func (n *Node) StartAt(height uint64) {
 }
 
 func (n *Node) startRound(round int) {
+	n.paused = false
 	now := n.net.Now()
 	if n.roundStarted {
 		n.tm.roundSec.Observe((now - n.roundStartAt).Seconds())
@@ -323,13 +346,24 @@ func (n *Node) schedulePrecommitTimeout(round int) {
 	})
 }
 
+// send routes one outbound message through the transport, surfacing local
+// failures (unknown peer, backpressure, closed transport) in the node
+// metrics and the trustnews_transport_* series instead of discarding them.
+// In-flight losses still surface as timeouts, as on any real network.
+func (n *Node) send(to transport.NodeID, kind string, payload any) {
+	n.tm.sends.Inc()
+	if err := n.net.Send(n.id, to, kind, payload); err != nil {
+		n.metrics.SendErrors++
+		n.tm.sendErrors.Inc()
+	}
+}
+
 func (n *Node) broadcast(kind string, payload any) {
 	for _, v := range n.set.Members() {
 		if v.ID == n.id {
 			continue
 		}
-		// Losses surface as timeouts; Send only errors on unknown nodes.
-		_ = n.net.Send(n.id, v.ID, kind, payload)
+		n.send(v.ID, kind, payload)
 	}
 }
 
@@ -342,7 +376,7 @@ func (n *Node) signVote(t VoteType, id ledger.BlockID) {
 
 // messageHeight extracts the consensus height of a message, or false for
 // non-consensus (or corrupted) payloads.
-func messageHeight(m simnet.Message) (uint64, bool) {
+func messageHeight(m transport.Message) (uint64, bool) {
 	switch p := m.Payload.(type) {
 	case *Proposal:
 		if p == nil {
@@ -365,7 +399,7 @@ func messageHeight(m simnet.Message) (uint64, bool) {
 // replayed traffic must never crash the node or double-count votes: every
 // malformed or unverifiable message is dropped and accounted for in the
 // rejection counters.
-func (n *Node) Handle(m simnet.Message) {
+func (n *Node) Handle(m transport.Message) {
 	if n.stopped {
 		return
 	}
@@ -377,24 +411,24 @@ func (n *Node) Handle(m simnet.Message) {
 		// The guard keeps it to one request per height.
 		if n.syncRequested <= n.height && m.From != n.id {
 			n.syncRequested = n.height + 1
-			_ = n.net.Send(n.id, m.From, KindSyncRequest, syncRequest{Height: n.height})
+			n.send(m.From, KindSyncRequest, SyncRequest{Height: n.height})
 		}
 		return
 	}
 	switch m.Kind {
 	case KindSyncRequest:
-		req, ok := m.Payload.(syncRequest)
+		req, ok := m.Payload.(SyncRequest)
 		if !ok {
 			n.tm.msgRejected.With("malformed").Inc()
 			return
 		}
 		if cert := n.certs[req.Height]; cert != nil {
-			_ = n.net.Send(n.id, m.From, KindCommit, cert)
+			n.send(m.From, KindCommit, cert)
 			return
 		}
 		n.serveChainSync(m.From, req.Height)
 	case KindSyncBlocks:
-		resp, ok := m.Payload.(*syncResponse)
+		resp, ok := m.Payload.(*SyncResponse)
 		if !ok {
 			n.tm.msgRejected.With("malformed").Inc()
 			return
@@ -427,7 +461,7 @@ func (n *Node) Handle(m simnet.Message) {
 // serveChainSync answers a sync request for a height below the in-memory
 // certificate window: it streams the committed blocks from the chain app
 // up to the oldest retained certificate, which authenticates the run.
-func (n *Node) serveChainSync(to simnet.NodeID, from uint64) {
+func (n *Node) serveChainSync(to transport.NodeID, from uint64) {
 	bf, ok := n.app.(BlockFetcher)
 	if !ok {
 		return
@@ -452,7 +486,7 @@ func (n *Node) serveChainSync(to simnet.NodeID, from uint64) {
 		}
 		blocks = append(blocks, b)
 	}
-	_ = n.net.Send(n.id, to, KindSyncBlocks, &syncResponse{From: from, Blocks: blocks, Cert: cert})
+	n.send(to, KindSyncBlocks, &SyncResponse{From: from, Blocks: blocks, Cert: cert})
 }
 
 // onSyncBlocks applies a chain-backed backfill. Everything is verified
@@ -460,7 +494,7 @@ func (n *Node) serveChainSync(to simnet.NodeID, from uint64) {
 // quorum, and the run must hash-link contiguously into the certified
 // block. A response that fails any check is dropped (and counted), never
 // partially applied.
-func (n *Node) onSyncBlocks(resp *syncResponse) {
+func (n *Node) onSyncBlocks(resp *SyncResponse) {
 	if resp.Cert == nil || resp.Cert.Block == nil {
 		n.tm.msgRejected.With("malformed").Inc()
 		return
@@ -828,11 +862,30 @@ func (n *Node) advanceHeight() {
 	delete(n.prevotes, n.height)
 	delete(n.precommit, n.height)
 	n.height++
+	n.round = 0
 	n.locked = nil
 	n.lockedRound = -1
 	n.valid = nil
 	n.validRound = -1
 	n.blocks = make(map[ledger.BlockID]*ledger.Block)
+	if n.tmo.Commit > 0 {
+		// Pace block production: rest for timeout_commit before entering
+		// the next height. Messages for the new height that arrive during
+		// the pause are still tallied (they can even commit it early, or
+		// pull us into a later round via round skip — either clears the
+		// pause); the timer only fires if the pause is still in effect.
+		h := n.height
+		n.paused = true
+		n.net.After(n.id, n.tmo.Commit, func() {
+			if n.stopped || n.height != h || !n.paused {
+				return
+			}
+			n.startRound(0)
+			n.replayFuture()
+		})
+		n.replayFuture()
+		return
+	}
 	n.startRound(0)
 	n.replayFuture()
 }

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/keys"
 	"repro/internal/ledger"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // PoA message kinds.
@@ -26,10 +26,10 @@ type poaMsg struct {
 // immediately. One network hop per block, no votes, and therefore no
 // Byzantine fault tolerance — experiment E10 contrasts its cost with BFT.
 type PoANode struct {
-	id       simnet.NodeID
+	id       transport.NodeID
 	kp       *keys.KeyPair
 	set      *ValidatorSet
-	net      *simnet.Network
+	net      transport.Network
 	app      App
 	interval time.Duration
 
@@ -40,7 +40,7 @@ type PoANode struct {
 
 // NewPoANode creates a PoA participant. interval is the leader's block
 // production period.
-func NewPoANode(id simnet.NodeID, kp *keys.KeyPair, set *ValidatorSet, net *simnet.Network, app App, interval time.Duration) *PoANode {
+func NewPoANode(id transport.NodeID, kp *keys.KeyPair, set *ValidatorSet, net transport.Network, app App, interval time.Duration) *PoANode {
 	return &PoANode{id: id, kp: kp, set: set, net: net, app: app, interval: interval}
 }
 
@@ -104,7 +104,7 @@ func poaSignBytes(m *poaMsg) []byte {
 }
 
 // Handle processes an incoming block announcement.
-func (n *PoANode) Handle(m simnet.Message) {
+func (n *PoANode) Handle(m transport.Message) {
 	if n.stopped {
 		return
 	}

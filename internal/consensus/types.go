@@ -20,7 +20,7 @@ import (
 
 	"repro/internal/keys"
 	"repro/internal/ledger"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Message kinds on the wire.
@@ -89,7 +89,7 @@ var (
 
 // Validator is one consensus participant.
 type Validator struct {
-	ID    simnet.NodeID
+	ID    transport.NodeID
 	Addr  keys.Address
 	Pub   []byte // ed25519 public key
 	Power int64

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+	"repro/internal/transport/tcp"
+	"repro/internal/transport/wire"
+)
+
+// E20Config sizes the transport comparison: the same consensus workload
+// is driven once over the deterministic simulated network and once over
+// real loopback TCP with the binary wire codec.
+type E20Config struct {
+	// Validators is the cluster size.
+	Validators int
+	// Seed drives key derivation and the simnet scheduler.
+	Seed int64
+	// Txs is the client workload committed in each cell.
+	Txs int
+	// Senders spreads the workload over this many accounts so batching
+	// is not serialized by per-sender nonce order.
+	Senders int
+	// PayloadBytes sizes each transaction body (wire overhead amortizes
+	// over it).
+	PayloadBytes int
+	// MaxTxsPerBlock caps proposals so the workload streams over several
+	// blocks instead of committing in one.
+	MaxTxsPerBlock int
+	// MaxWall bounds each cell in wall-clock time.
+	MaxWall time.Duration
+}
+
+// DefaultE20 returns the standard configuration.
+func DefaultE20() E20Config {
+	return E20Config{
+		Validators:     4,
+		Seed:           20,
+		Txs:            400,
+		Senders:        16,
+		PayloadBytes:   200,
+		MaxTxsPerBlock: 64,
+		MaxWall:        60 * time.Second,
+	}
+}
+
+// RunE20Wire measures commit throughput for a 4-validator cluster on the
+// in-memory simulated network versus loopback TCP framed by the wire
+// codec (E20). The simnet cell is the platform's test substrate — zero
+// copies, virtual time — so its wall clock is pure consensus compute;
+// the TCP cell adds real sockets, binary encoding and framing. The
+// bytes columns quantify the wire overhead per committed transaction.
+func RunE20Wire(cfg E20Config) (*Table, error) {
+	t := &Table{
+		ID:     "E20",
+		Title:  "Transport comparison: simnet vs loopback TCP",
+		Claim:  "the wire codec and TCP framing sustain the consensus workload at loopback speed, with bounded per-tx byte overhead",
+		Header: []string{"transport", "txs", "blocks", "wall_ms", "tx_per_s", "bytes_out", "wire_B_per_tx"},
+	}
+	simRow, err := e20Simnet(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("e20 simnet: %w", err)
+	}
+	t.AddRow(simRow...)
+	tcpRow, err := e20TCP(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("e20 tcp: %w", err)
+	}
+	t.AddRow(tcpRow...)
+	return t, nil
+}
+
+// e20Txs builds the deterministic client workload.
+func e20Txs(cfg E20Config) ([]*ledger.Tx, error) {
+	payload := make([]byte, cfg.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	txs := make([]*ledger.Tx, 0, cfg.Txs)
+	for s := 0; s < cfg.Senders; s++ {
+		kp := keys.FromSeed([]byte("e20-sender-" + strconv.Itoa(s)))
+		for n := 0; len(txs) < cfg.Txs && n < (cfg.Txs+cfg.Senders-1)/cfg.Senders; n++ {
+			tx, err := ledger.NewTx(kp, uint64(n), "bench.payload", payload)
+			if err != nil {
+				return nil, err
+			}
+			txs = append(txs, tx)
+		}
+	}
+	return txs, nil
+}
+
+// e20Simnet runs the workload on the deterministic simulated network.
+func e20Simnet(cfg E20Config) ([]string, error) {
+	cluster, err := consensus.NewCluster(cfg.Validators, cfg.Seed, consensus.DefaultTimeouts())
+	if err != nil {
+		return nil, err
+	}
+	for _, app := range cluster.Apps {
+		app.MaxTxs = cfg.MaxTxsPerBlock
+	}
+	txs, err := e20Txs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, tx := range txs {
+		if err := cluster.SubmitAll(tx); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	cluster.Start()
+	deadline := start.Add(cfg.MaxWall)
+	cluster.Net.RunWhile(func() bool {
+		if time.Now().After(deadline) {
+			return false
+		}
+		for _, app := range cluster.Apps {
+			if app.Pool.Size() > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	wall := time.Since(start)
+	for i, app := range cluster.Apps {
+		if app.Pool.Size() > 0 {
+			return nil, fmt.Errorf("node %d pool not drained (%d left) after %s", i, app.Pool.Size(), wall)
+		}
+	}
+	blocks := cluster.MinHeight()
+	return e20Row("simnet", cfg.Txs, blocks, wall, 0), nil
+}
+
+// e20TCP runs the same workload over loopback TCP transports framed by
+// the wire codec, all in one process so the comparison isolates the
+// transport (not scheduler noise between machines).
+func e20TCP(cfg E20Config) ([]string, error) {
+	n := cfg.Validators
+	reg := telemetry.New()
+	tm := transport.NewMetrics(reg)
+	transports := make([]*tcp.Transport, n)
+	nodes := make([]*consensus.Node, n)
+	apps := make([]*consensus.ChainApp, n)
+	kps := make([]*keys.KeyPair, n)
+	vals := make([]consensus.Validator, n)
+	defer func() {
+		for _, tr := range transports {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		kps[i] = keys.FromSeed([]byte("e20-val-" + strconv.Itoa(i)))
+		vals[i] = consensus.Validator{
+			ID:    transport.NodeID("p" + strconv.Itoa(i)),
+			Addr:  kps[i].Address(),
+			Pub:   kps[i].Public(),
+			Power: 1,
+		}
+		tr, err := tcp.New(tcp.Config{
+			NodeID:  vals[i].ID,
+			Listen:  "127.0.0.1:0",
+			Codec:   wire.Codec{},
+			Metrics: tm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.Start(); err != nil {
+			return nil, err
+		}
+		transports[i] = tr
+	}
+	set, err := consensus.NewValidatorSet(vals)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				transports[i].AddPeer(vals[j].ID, transports[j].Addr())
+			}
+		}
+	}
+	txs, err := e20Txs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		apps[i] = &consensus.ChainApp{
+			Chain:      ledger.NewMemChain(),
+			Proposer:   kps[i].Address(),
+			MaxTxs:     cfg.MaxTxsPerBlock,
+			AllowEmpty: true,
+		}
+		apps[i].Pool = ledger.NewMempool(apps[i].Chain, 1<<16)
+		for _, tx := range txs {
+			if err := apps[i].Pool.Add(tx); err != nil {
+				return nil, err
+			}
+		}
+		nodes[i] = consensus.NewNode(vals[i].ID, kps[i], set, transports[i], apps[i], consensus.DefaultTimeouts())
+		if err := nodes[i].Bind(); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		node := nodes[i]
+		transports[i].After(vals[i].ID, 0, func() { node.Start() })
+	}
+	deadline := start.Add(cfg.MaxWall)
+	for {
+		drained := true
+		for _, app := range apps {
+			if app.Pool.Size() > 0 {
+				drained = false
+				break
+			}
+		}
+		if drained {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("tcp cell: pools not drained within %s", cfg.MaxWall)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wall := time.Since(start)
+	blocks := apps[0].Chain.Height()
+	for _, app := range apps[1:] {
+		if h := app.Chain.Height(); h < blocks {
+			blocks = h
+		}
+	}
+	return e20Row("tcp-loopback", cfg.Txs, blocks, wall, tm.BytesOut.Value()), nil
+}
+
+// e20Row formats one cell. bytesOut 0 means the transport moved no real
+// bytes (simnet delivers in-memory values).
+func e20Row(name string, txs int, blocks uint64, wall time.Duration, bytesOut uint64) []string {
+	wallMS := float64(wall) / float64(time.Millisecond)
+	perTx := "-"
+	bytes := "-"
+	if bytesOut > 0 {
+		bytes = strconv.FormatUint(bytesOut, 10)
+		perTx = fmt.Sprintf("%.0f", float64(bytesOut)/float64(txs))
+	}
+	return []string{
+		name,
+		strconv.Itoa(txs),
+		strconv.FormatUint(blocks, 10),
+		fmt.Sprintf("%.1f", wallMS),
+		fmt.Sprintf("%.0f", float64(txs)/wall.Seconds()),
+		bytes,
+		perTx,
+	}
+}

@@ -469,3 +469,31 @@ func TestE19ChaosSweepSmall(t *testing.T) {
 		}
 	}
 }
+
+func TestE20WireTransportSmall(t *testing.T) {
+	cfg := DefaultE20()
+	cfg.Txs, cfg.Senders = 80, 8
+	tbl, err := RunE20Wire(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows=%d want 2 (simnet, tcp-loopback)", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		if committed := cell(t, tbl, i, 1); committed != 80 {
+			t.Fatalf("%s: committed %.0f txs, want 80", row[0], committed)
+		}
+		if rate := cell(t, tbl, i, 4); rate <= 0 {
+			t.Fatalf("%s: tx rate %.0f", row[0], rate)
+		}
+	}
+	// Only the TCP cell moves real bytes, and a committed tx cannot cost
+	// fewer wire bytes than its own encoding.
+	if tbl.Rows[0][5] != "-" {
+		t.Fatalf("simnet cell reports bytes: %q", tbl.Rows[0][5])
+	}
+	if perTx := cell(t, tbl, 1, 6); perTx < float64(cfg.PayloadBytes) {
+		t.Fatalf("tcp wire bytes per tx %.0f below payload size %d", perTx, cfg.PayloadBytes)
+	}
+}

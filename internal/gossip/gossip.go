@@ -1,4 +1,4 @@
-// Package gossip implements epidemic broadcast over a simnet network.
+// Package gossip implements epidemic broadcast over a transport network.
 //
 // Blocks and transactions propagate between validators by push gossip with
 // configurable fanout and duplicate suppression. The fanout/latency/overhead
@@ -14,11 +14,11 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/simnet"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
-// MessageKind is the simnet message kind used by gossip traffic.
+// MessageKind is the transport message kind used by gossip traffic.
 const MessageKind = "gossip"
 
 // Anti-entropy message kinds (pull repair).
@@ -45,8 +45,8 @@ type Envelope struct {
 
 // Delivery is handed to the application when a node first sees an envelope.
 type Delivery struct {
-	Node simnet.NodeID
-	From simnet.NodeID
+	Node transport.NodeID
+	From transport.NodeID
 	Env  Envelope
 	At   time.Duration
 }
@@ -69,18 +69,18 @@ type Config struct {
 	AntiEntropyJitter time.Duration
 }
 
-// Mesh is a gossip overlay across a set of simnet nodes. Create with New,
+// Mesh is a gossip overlay across a set of transport nodes. Create with New,
 // register nodes with Join, publish with Publish, then drive the underlying
 // network with net.Run.
 type Mesh struct {
 	mu    sync.Mutex
-	net   *simnet.Network
+	net   transport.Network
 	cfg   Config
-	peers []simnet.NodeID
-	seen  map[simnet.NodeID]map[string]bool
+	peers []transport.NodeID
+	seen  map[transport.NodeID]map[string]bool
 	// stash keeps each node's copies of received envelopes so it can
 	// serve anti-entropy pulls.
-	stash   map[simnet.NodeID]map[string]Envelope
+	stash   map[transport.NodeID]map[string]Envelope
 	deliver func(Delivery)
 	// counters
 	firstSeen map[string]time.Duration
@@ -115,26 +115,26 @@ func (g *Mesh) Instrument(reg *telemetry.Registry) {
 
 // New creates a mesh over the given network. deliver is invoked exactly once
 // per (node, envelope id) pair; it may be nil.
-func New(net *simnet.Network, cfg Config, deliver func(Delivery)) *Mesh {
+func New(net transport.Network, cfg Config, deliver func(Delivery)) *Mesh {
 	return &Mesh{
 		net:       net,
 		cfg:       cfg,
-		seen:      make(map[simnet.NodeID]map[string]bool),
-		stash:     make(map[simnet.NodeID]map[string]Envelope),
+		seen:      make(map[transport.NodeID]map[string]bool),
+		stash:     make(map[transport.NodeID]map[string]Envelope),
 		deliver:   deliver,
 		firstSeen: make(map[string]time.Duration),
 		reach:     make(map[string]int),
 	}
 }
 
-// Join registers a node with the mesh and installs its simnet handler.
-func (g *Mesh) Join(id simnet.NodeID) error {
+// Join registers a node with the mesh and installs its transport handler.
+func (g *Mesh) Join(id transport.NodeID) error {
 	g.mu.Lock()
 	g.peers = append(g.peers, id)
 	g.seen[id] = make(map[string]bool)
 	g.stash[id] = make(map[string]Envelope)
 	g.mu.Unlock()
-	handler := func(m simnet.Message) {
+	handler := func(m transport.Message) {
 		switch m.Kind {
 		case KindDigest:
 			ids, ok := m.Payload.([]string)
@@ -165,16 +165,16 @@ func (g *Mesh) Join(id simnet.NodeID) error {
 }
 
 // Peers returns the current peer list.
-func (g *Mesh) Peers() []simnet.NodeID {
+func (g *Mesh) Peers() []transport.NodeID {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	out := make([]simnet.NodeID, len(g.peers))
+	out := make([]transport.NodeID, len(g.peers))
 	copy(out, g.peers)
 	return out
 }
 
 // Publish introduces an envelope at origin and starts the epidemic.
-func (g *Mesh) Publish(origin simnet.NodeID, env Envelope) error {
+func (g *Mesh) Publish(origin transport.NodeID, env Envelope) error {
 	g.mu.Lock()
 	if _, ok := g.seen[origin]; !ok {
 		g.mu.Unlock()
@@ -185,7 +185,7 @@ func (g *Mesh) Publish(origin simnet.NodeID, env Envelope) error {
 	return nil
 }
 
-func (g *Mesh) receive(node, from simnet.NodeID, env Envelope) {
+func (g *Mesh) receive(node, from transport.NodeID, env Envelope) {
 	g.mu.Lock()
 	if g.seen[node][env.ID] {
 		g.tm.dedup.Inc()
@@ -225,14 +225,14 @@ func (g *Mesh) receive(node, from simnet.NodeID, env Envelope) {
 
 // pickTargets selects fanout random peers (or all peers when Fanout==0).
 // Caller must hold g.mu.
-func (g *Mesh) pickTargets(self simnet.NodeID) []simnet.NodeID {
+func (g *Mesh) pickTargets(self transport.NodeID) []transport.NodeID {
 	if g.cfg.Fanout <= 0 || g.cfg.Fanout >= len(g.peers)-1 {
-		out := make([]simnet.NodeID, len(g.peers))
+		out := make([]transport.NodeID, len(g.peers))
 		copy(out, g.peers)
 		return out
 	}
 	// Partial Fisher-Yates over a copy using the network RNG.
-	cand := make([]simnet.NodeID, 0, len(g.peers)-1)
+	cand := make([]transport.NodeID, 0, len(g.peers)-1)
 	for _, p := range g.peers {
 		if p != self {
 			cand = append(cand, p)
@@ -255,14 +255,14 @@ func (g *Mesh) pickTargets(self simnet.NodeID) []simnet.NodeID {
 // AntiEntropyInterval plus a seeded jitter draw, so the cadence is
 // deterministic for a fixed network seed but spread out relative to
 // other periodic traffic. No-op when the interval is zero.
-func (g *Mesh) StartAntiEntropy(anchor simnet.NodeID) {
+func (g *Mesh) StartAntiEntropy(anchor transport.NodeID) {
 	if g.cfg.AntiEntropyInterval <= 0 {
 		return
 	}
 	g.scheduleAntiEntropy(anchor)
 }
 
-func (g *Mesh) scheduleAntiEntropy(anchor simnet.NodeID) {
+func (g *Mesh) scheduleAntiEntropy(anchor transport.NodeID) {
 	d := g.cfg.AntiEntropyInterval
 	jitter := g.cfg.AntiEntropyJitter
 	if jitter <= 0 {
@@ -282,8 +282,8 @@ func (g *Mesh) scheduleAntiEntropy(anchor simnet.NodeID) {
 // that closes the coverage gap push gossip leaves under loss.
 func (g *Mesh) AntiEntropyRound() {
 	g.mu.Lock()
-	peers := append([]simnet.NodeID(nil), g.peers...)
-	digests := make(map[simnet.NodeID][]string, len(peers))
+	peers := append([]transport.NodeID(nil), g.peers...)
+	digests := make(map[transport.NodeID][]string, len(peers))
 	for _, p := range peers {
 		ids := make([]string, 0, len(g.seen[p]))
 		for id := range g.seen[p] {
@@ -307,7 +307,7 @@ func (g *Mesh) AntiEntropyRound() {
 }
 
 // onDigest compares a peer's digest with ours and pulls what we miss.
-func (g *Mesh) onDigest(node, from simnet.NodeID, ids []string) {
+func (g *Mesh) onDigest(node, from transport.NodeID, ids []string) {
 	g.mu.Lock()
 	var missing []string
 	for _, id := range ids {
@@ -323,7 +323,7 @@ func (g *Mesh) onDigest(node, from simnet.NodeID, ids []string) {
 }
 
 // onPull serves requested envelopes from the local stash.
-func (g *Mesh) onPull(node, from simnet.NodeID, ids []string) {
+func (g *Mesh) onPull(node, from transport.NodeID, ids []string) {
 	g.mu.Lock()
 	envs := make([]Envelope, 0, len(ids))
 	for _, id := range ids {

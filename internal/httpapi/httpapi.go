@@ -72,6 +72,7 @@ func New(p *platform.Platform, autoCommit bool) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tx", s.handleSubmitTx)
 	mux.HandleFunc("GET /v1/chain", s.handleChain)
+	mux.HandleFunc("GET /v1/blocks/{height}", s.handleBlock)
 	mux.HandleFunc("GET /v1/commitbus", s.handleCommitBus)
 	mux.HandleFunc("GET /v1/items/{id}", s.handleItem)
 	mux.HandleFunc("GET /v1/items/{id}/rank", s.handleRank)
@@ -224,6 +225,38 @@ func (s *Server) handleChain(w http.ResponseWriter, _ *http.Request) {
 		Facts:            s.p.FactIndex().Len(),
 		FactRoot:         s.p.FactIndex().Root().String(),
 		CheckpointHeight: s.p.CheckpointHeight(),
+	})
+}
+
+// blockResponse summarizes one committed block. The e2e harness compares
+// IDs across nodes at a common height to assert chain convergence.
+type blockResponse struct {
+	Height   uint64 `json:"height"`
+	ID       string `json:"id"`
+	Prev     string `json:"prev"`
+	Proposer string `json:"proposer"`
+	Txs      int    `json:"txs"`
+	Time     string `json:"time"`
+}
+
+func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
+	h, err := strconv.ParseUint(r.PathValue("height"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("height: %w", err))
+		return
+	}
+	b, err := s.p.Chain().BlockAt(h)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, blockResponse{
+		Height:   b.Header.Height,
+		ID:       b.ID().String(),
+		Prev:     b.Header.Prev.String(),
+		Proposer: b.Header.Proposer.String(),
+		Txs:      len(b.Txs),
+		Time:     b.Header.Time.UTC().Format(time.RFC3339Nano),
 	})
 }
 

@@ -1,0 +1,108 @@
+package platform
+
+// This file is the cluster wiring for real deployments: helpers that
+// attach one Platform to a consensus validator over any
+// transport.Network implementation. The simnet-backed clusters
+// (cluster.go, durable_cluster.go) wire themselves; this is the entry
+// point for cmd/trustnewsd's TCP cluster mode and the e2e harness,
+// where every validator is a separate OS process and the network is
+// real.
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/consensus"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/transport"
+)
+
+// ValidatorID returns the canonical node ID for validator index i
+// ("p0", "p1", ...). Every deployment tool (daemon flags, e2e harness,
+// durable cluster directories) uses the same convention so that data
+// directories, peer maps and validator sets line up by construction.
+func ValidatorID(i int) transport.NodeID {
+	return transport.NodeID("p" + strconv.Itoa(i))
+}
+
+// ValidatorKey derives validator i's well-known development key pair.
+// Real deployments would provision keys externally; the reproduction
+// uses deterministic seeds so any process can reconstruct the full
+// validator set from its size alone.
+func ValidatorKey(i int) *keys.KeyPair {
+	return keys.FromSeed([]byte("platform-validator-" + strconv.Itoa(i)))
+}
+
+// ClusterValidators builds the canonical n-validator set (equal power,
+// IDs p0..p{n-1}, deterministic development keys).
+func ClusterValidators(n int) (*consensus.ValidatorSet, []*keys.KeyPair, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("platform: cluster needs validators, got %d", n)
+	}
+	kps := make([]*keys.KeyPair, n)
+	vals := make([]consensus.Validator, n)
+	for i := 0; i < n; i++ {
+		kps[i] = ValidatorKey(i)
+		vals[i] = consensus.Validator{
+			ID:    ValidatorID(i),
+			Addr:  kps[i].Address(),
+			Pub:   kps[i].Public(),
+			Power: 1,
+		}
+	}
+	set, err := consensus.NewValidatorSet(vals)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, kps, nil
+}
+
+// AttachConsensus switches platform p into replicated mode and wires it
+// as validator id of set over net. Standalone commits (Commit/CommitAll)
+// are disabled from here on: blocks are decided by consensus and applied
+// through ApplyExternalBlock. The returned node is bound to the network
+// but not started — call StartAt(p.Chain().Height()) from the transport's
+// event loop once the process is ready to participate.
+func AttachConsensus(p *Platform, id transport.NodeID, kp *keys.KeyPair, set *consensus.ValidatorSet, net transport.Network, tmo consensus.Timeouts) (*consensus.Node, error) {
+	if tmo == (consensus.Timeouts{}) {
+		tmo = consensus.DefaultTimeouts()
+	}
+	p.mu.Lock()
+	p.replicated = true
+	p.mu.Unlock()
+	app := &consensus.ChainApp{
+		Chain:      p.Chain(),
+		Proposer:   kp.Address(),
+		AllowEmpty: true,
+		// Block timestamps follow the platform clock as configured at
+		// attach time (fixed epoch by default, time.Now in the daemon).
+		Now: p.clock,
+		OnCommit: func(b *ledger.Block) {
+			_ = p.ApplyExternalBlock(b)
+		},
+	}
+	app.Pool = p.pool
+	node := consensus.NewNode(id, kp, set, net, app, tmo)
+	node.Instrument(p.cfg.Telemetry)
+	if err := node.Bind(); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// SetOnSubmit installs a hook observing every transaction accepted into
+// the local mempool via Submit. Cluster mode uses it to relay client
+// transactions to peer validators so any node's proposer sees them.
+func (p *Platform) SetOnSubmit(fn func(*ledger.Tx)) {
+	p.mu.Lock()
+	p.onSubmit = fn
+	p.mu.Unlock()
+}
+
+// SubmitRelayed enqueues a transaction received from a peer without
+// re-triggering the relay hook (the origin already broadcast it to the
+// full mesh, so forwarding again would only produce duplicate traffic).
+func (p *Platform) SubmitRelayed(tx *ledger.Tx) error {
+	return p.pool.Add(tx)
+}

@@ -170,6 +170,9 @@ type Platform struct {
 	// replicated marks a platform driven by external consensus; standalone
 	// mining is disabled to prevent forking away from the agreed chain.
 	replicated bool
+	// onSubmit, when set, observes every transaction Submit accepts into
+	// the mempool (cluster mode relays them to peer validators).
+	onSubmit func(*ledger.Tx)
 	// clock supplies block timestamps (fixed epoch by default for
 	// reproducibility; override with SetClock).
 	clock func() time.Time
@@ -381,9 +384,20 @@ func (p *Platform) TrainClassifier(c aidetect.TextClassifier, train []corpus.Sta
 	return nil
 }
 
-// Submit verifies and enqueues a signed transaction.
+// Submit verifies and enqueues a signed transaction. In cluster mode the
+// accepted transaction is also handed to the relay hook (SetOnSubmit) so
+// peer validators learn about it before their next proposal.
 func (p *Platform) Submit(tx *ledger.Tx) error {
-	return p.pool.Add(tx)
+	if err := p.pool.Add(tx); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	relay := p.onSubmit
+	p.mu.Unlock()
+	if relay != nil {
+		relay(tx)
+	}
+	return nil
 }
 
 // Commit mines one block from the mempool in standalone mode: executes

@@ -7,6 +7,13 @@
 // across links with configurable latency distributions and loss rates, time
 // is virtual (no wall-clock sleeps), and every run is reproducible from a
 // seed. Partitions can be injected to exercise fault paths.
+//
+// Network is the deterministic implementation of transport.Network; the
+// protocol layers hold only that interface, so the same state machines run
+// over internal/transport/tcp against real sockets. The node-facing types
+// are aliases of the transport package's, which keeps the two substrates
+// interchangeable without conversions and preserves the behaviour of every
+// pre-transport test bit for bit.
 package simnet
 
 import (
@@ -17,7 +24,12 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/transport"
 )
+
+// Compile-time check: the simulator is a transport.Network.
+var _ transport.Network = (*Network)(nil)
 
 // Errors returned by this package.
 var (
@@ -28,20 +40,15 @@ var (
 )
 
 // NodeID identifies a node on the simulated network.
-type NodeID string
+type NodeID = transport.NodeID
 
-// Message is a payload in flight between two nodes.
-type Message struct {
-	From    NodeID
-	To      NodeID
-	Kind    string
-	Payload any
-	Sent    time.Duration // virtual send time
-}
+// Message is a payload in flight between two nodes. Sent records the
+// virtual send time.
+type Message = transport.Message
 
 // Handler receives messages delivered to a node. Handlers run sequentially
 // in virtual-time order; they may call Send/Broadcast/After on the network.
-type Handler func(m Message)
+type Handler = transport.Handler
 
 // LinkConfig describes delivery characteristics between a pair of nodes
 // (applied directionally).

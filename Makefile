@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race race-hot chaos e2e bench-reopen
+.PHONY: tier1 build vet test race race-hot chaos e2e loadgen-smoke bench-reopen
 
-tier1: build vet race-hot chaos e2e race
+tier1: build vet race-hot chaos loadgen-smoke e2e race
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,13 @@ race:
 # instrument handles, gossip fan-out, blob retrieval) before the full
 # suite runs.
 race-hot:
-	$(GO) test -race -count=1 ./internal/telemetry/... ./internal/commitbus/... ./internal/gossip/... ./internal/blobstore/... ./internal/ledger ./internal/consensus ./internal/simnet ./internal/chaos ./internal/transport/...
+	$(GO) test -race -count=1 ./internal/telemetry/... ./internal/commitbus/... ./internal/gossip/... ./internal/blobstore/... ./internal/ledger ./internal/consensus ./internal/simnet ./internal/chaos ./internal/transport/... ./internal/admission
+
+# Open-loop load generator smoke: a short low-rate run against an
+# in-process node with admission control on must finish with zero
+# failed, shed, or client-dropped requests.
+loadgen-smoke:
+	$(GO) test -count=1 -run TestLoadgenSmoke ./internal/loadgen
 
 # Multi-process cluster test: builds the daemon, boots 4 validators over
 # loopback TCP, drives transactions through the HTTP API, and kill -9s a

@@ -356,3 +356,16 @@ func BenchmarkE20WireTransport(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE21OverloadSweep(b *testing.B) {
+	cfg := experiments.DefaultE21()
+	cfg.Rates = []float64{150, 1500}
+	cfg.Duration = 1500 * time.Millisecond
+	cfg.Users, cfg.SeedArticles = 24, 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE21(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -220,6 +220,15 @@ func run(quick bool, only, jsonPath string) error {
 			}
 			return experiments.RunE20Wire(cfg)
 		}},
+		{"E21", func(q bool) (*experiments.Table, error) {
+			cfg := experiments.DefaultE21()
+			if q {
+				cfg.Rates = []float64{150, 1500}
+				cfg.Duration = 1500 * time.Millisecond
+				cfg.Users, cfg.SeedArticles = 24, 8
+			}
+			return experiments.RunE21(cfg)
+		}},
 	}
 	dump := jsonDump{Quick: quick, Results: []jsonResult{}}
 	for _, r := range runners {

@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/aidetect"
 	"repro/internal/consensus"
 	"repro/internal/corpus"
@@ -104,6 +105,9 @@ func run(ctx context.Context, o options) error {
 	// The daemon always carries a live registry: metrics cost next to
 	// nothing and /v1/metrics is part of the serving surface.
 	cfg.Telemetry = telemetry.New()
+	// Production nodes always run with admission control: shed excess
+	// load with 429s before queues grow instead of timing out under it.
+	cfg.Admission = admission.DefaultConfig()
 	if o.blobDir != "" {
 		if err := os.MkdirAll(o.blobDir, 0o755); err != nil {
 			return err

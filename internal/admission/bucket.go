@@ -1,0 +1,120 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RouteLimit is a static rate policy for one route: a sustained
+// per-second rate with a burst allowance (the token bucket size).
+type RouteLimit struct {
+	// PerSecond is the sustained refill rate (must be > 0).
+	PerSecond float64
+	// Burst is the bucket capacity — how many requests may arrive
+	// back-to-back after an idle period (must be > 0).
+	Burst int
+}
+
+// TokenBucket is a classic token-bucket rate limiter: tokens refill
+// continuously at a fixed rate up to the burst capacity, and every
+// admitted request spends one.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket creates a bucket refilling at rate tokens/second with
+// the given burst capacity. Zero or negative capacity is a
+// configuration error rejected at construction — a bucket that can
+// never admit anything is a misconfiguration, not a policy.
+func NewTokenBucket(rate float64, burst int) (*TokenBucket, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("admission: token bucket rate must be positive, got %g", rate)
+	}
+	if burst <= 0 {
+		return nil, fmt.Errorf("admission: token bucket burst must be positive, got %d", burst)
+	}
+	return &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: time.Now}, nil
+}
+
+// SetClock overrides the bucket's time source (tests).
+func (b *TokenBucket) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+	b.last = time.Time{}
+}
+
+// Allow spends one token if available.
+func (b *TokenBucket) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// RouteLimiter holds one token bucket per configured route. Routes
+// without a bucket are unlimited; a nil *RouteLimiter admits
+// everything.
+type RouteLimiter struct {
+	buckets map[string]*TokenBucket
+	metrics *Metrics
+}
+
+// NewRouteLimiter builds buckets for every configured route, rejecting
+// zero-capacity limits at construction. A nil or empty map yields a
+// limiter that admits everything (still non-nil, so callers need no
+// special case).
+func NewRouteLimiter(limits map[string]RouteLimit) (*RouteLimiter, error) {
+	l := &RouteLimiter{buckets: make(map[string]*TokenBucket, len(limits))}
+	for route, lim := range limits {
+		b, err := NewTokenBucket(lim.PerSecond, lim.Burst)
+		if err != nil {
+			return nil, fmt.Errorf("route %q: %w", route, err)
+		}
+		l.buckets[route] = b
+	}
+	return l, nil
+}
+
+// Instrument attaches the shared admission metrics (sheds are counted
+// under component "httpapi" with reason "rate_limit").
+func (l *RouteLimiter) Instrument(m *Metrics) {
+	if l != nil {
+		l.metrics = m
+	}
+}
+
+// Allow reports whether the route may take one more request now. The
+// map is never mutated after construction, so lookups are lock-free;
+// each bucket synchronizes internally.
+func (l *RouteLimiter) Allow(route string) bool {
+	if l == nil {
+		return true
+	}
+	b, ok := l.buckets[route]
+	if !ok {
+		return true
+	}
+	if b.Allow() {
+		return true
+	}
+	l.metrics.Shed("httpapi", ShedRateLimit)
+	return false
+}

@@ -1,0 +1,232 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Default CoDel parameters. The canonical values (5ms target, 100ms
+// interval) come from the CoDel paper's analysis of where standing
+// queues stop being useful burst absorption and start being pure
+// latency: a queue that cannot drain to under target within an
+// interval is a standing queue and should shrink.
+const (
+	DefaultTarget   = 5 * time.Millisecond
+	DefaultInterval = 100 * time.Millisecond
+)
+
+// GateConfig sizes one admission gate.
+type GateConfig struct {
+	// MaxConcurrent bounds requests being serviced at once (required,
+	// > 0). Admission work is CPU-bound, so this tracks cores.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot (>= 0; zero means
+	// never wait — shed the moment all slots are busy).
+	MaxQueue int
+	// Target is the acceptable steady-state queue delay (0 means
+	// DefaultTarget).
+	Target time.Duration
+	// Interval is the CoDel observation window (0 means
+	// DefaultInterval).
+	Interval time.Duration
+}
+
+// Gate is a bounded-concurrency, bounded-queue admission gate with a
+// CoDel-style queue-delay controller. Acquire admits, queues, or sheds;
+// Release frees the slot. The controller watches the delay every
+// queued request actually experienced: while the minimum observed
+// delay stays above Target for a full Interval, the gate enters a
+// dropping state and sheds arrivals at an increasing rate
+// (Interval/sqrt(n) spacing, the CoDel control law) until a request
+// gets through with an acceptable wait again. The effect under
+// sustained overload is that the queue stays short, accepted requests
+// keep a bounded wait, and excess arrivals fail fast with
+// ErrOverCapacity instead of timing out at the back of an unbounded
+// line.
+//
+// A nil *Gate admits everything.
+type Gate struct {
+	sem      chan struct{}
+	maxQueue int
+	waiting  atomic.Int64
+
+	mu  sync.Mutex // guards ctrl and now
+	ctl codel
+	now func() time.Time
+
+	// cached instrument handles (nil-safe).
+	component string
+	metrics   *Metrics
+	depth     *telemetry.Gauge
+	delay     *telemetry.Histogram
+}
+
+// NewGate validates the configuration and builds the gate. A gate that
+// can never admit (MaxConcurrent <= 0) or hold a waiter (MaxQueue < 0)
+// is rejected at construction.
+func NewGate(cfg GateConfig) (*Gate, error) {
+	if cfg.MaxConcurrent <= 0 {
+		return nil, fmt.Errorf("admission: gate MaxConcurrent must be positive, got %d", cfg.MaxConcurrent)
+	}
+	if cfg.MaxQueue < 0 {
+		return nil, fmt.Errorf("admission: gate MaxQueue must be non-negative, got %d", cfg.MaxQueue)
+	}
+	if cfg.Target <= 0 {
+		cfg.Target = DefaultTarget
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	return &Gate{
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		maxQueue: cfg.MaxQueue,
+		ctl:      codel{target: cfg.Target, interval: cfg.Interval},
+		now:      time.Now,
+	}, nil
+}
+
+// SetClock overrides the gate's time source (tests). Call before the
+// gate takes traffic.
+func (g *Gate) SetClock(now func() time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.now = now
+}
+
+// Instrument attaches the shared admission metrics under the given
+// component label. Call before the gate takes traffic.
+func (g *Gate) Instrument(m *Metrics, component string) {
+	if g == nil || m == nil {
+		return
+	}
+	g.metrics = m
+	g.component = component
+	g.depth = m.depth.With(component)
+	g.delay = m.delay.With(component)
+}
+
+// clock returns the gate's current time under the lock.
+func (g *Gate) clock() time.Time {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.now()
+}
+
+// Acquire admits the caller (possibly after a bounded wait) or sheds
+// it with ErrOverCapacity. Every admission must be paired with exactly
+// one Release.
+func (g *Gate) Acquire() error {
+	if g == nil {
+		return nil
+	}
+	start := g.clock()
+	select {
+	case g.sem <- struct{}{}:
+		// Uncontended: zero queue delay, which tells the controller the
+		// queue drained — any above-target streak ends here.
+		g.mu.Lock()
+		g.ctl.observe(start, 0)
+		g.mu.Unlock()
+		g.metrics.Accepted(g.component)
+		return nil
+	default:
+	}
+	// All slots busy: this request would queue. Shed if the queue is
+	// full, or if the delay controller says the queue has been a
+	// standing queue for too long.
+	g.mu.Lock()
+	if int(g.waiting.Load()) >= g.maxQueue {
+		g.mu.Unlock()
+		g.metrics.Shed(g.component, ShedQueueFull)
+		return fmt.Errorf("%w: %s queue full", ErrOverCapacity, g.component)
+	}
+	if g.ctl.shed(start) {
+		g.mu.Unlock()
+		g.metrics.Shed(g.component, ShedCoDel)
+		return fmt.Errorf("%w: %s queue delay above target", ErrOverCapacity, g.component)
+	}
+	g.waiting.Add(1)
+	g.mu.Unlock()
+	g.depth.Set(float64(g.waiting.Load()))
+
+	g.sem <- struct{}{} // wait for a slot
+	end := g.clock()
+	g.waiting.Add(-1)
+	g.depth.Set(float64(g.waiting.Load()))
+	wait := end.Sub(start)
+	g.delay.Observe(wait.Seconds())
+	g.mu.Lock()
+	g.ctl.observe(end, wait)
+	g.mu.Unlock()
+	g.metrics.Accepted(g.component)
+	return nil
+}
+
+// Release returns an admitted caller's slot.
+func (g *Gate) Release() {
+	if g != nil {
+		<-g.sem
+	}
+}
+
+// Waiting reports the current queue depth (0 on a nil gate).
+func (g *Gate) Waiting() int {
+	if g == nil {
+		return 0
+	}
+	return int(g.waiting.Load())
+}
+
+// ---------------------------------------------------------------------------
+// CoDel-style delay controller.
+// ---------------------------------------------------------------------------
+
+// codel tracks whether observed queue delays have stayed above target
+// for a full interval, and while they have, schedules arrival sheds at
+// the CoDel control-law spacing interval/sqrt(count). Callers hold the
+// gate lock.
+type codel struct {
+	target, interval time.Duration
+	// firstAbove is the deadline by which a below-target delay must be
+	// seen to avoid entering the dropping state (zero = delays are
+	// currently below target).
+	firstAbove time.Time
+	dropping   bool
+	dropNext   time.Time
+	count      int
+}
+
+// observe feeds one measured queue delay into the controller.
+func (c *codel) observe(now time.Time, sojourn time.Duration) {
+	if sojourn < c.target {
+		c.firstAbove = time.Time{}
+		c.dropping = false
+		c.count = 0
+		return
+	}
+	if c.firstAbove.IsZero() {
+		c.firstAbove = now.Add(c.interval)
+		return
+	}
+	if !c.dropping && !now.Before(c.firstAbove) {
+		c.dropping = true
+		c.count = 0
+		c.dropNext = now
+	}
+}
+
+// shed reports whether to drop an arrival right now, advancing the
+// drop schedule when it fires.
+func (c *codel) shed(now time.Time) bool {
+	if !c.dropping || now.Before(c.dropNext) {
+		return false
+	}
+	c.count++
+	c.dropNext = now.Add(time.Duration(float64(c.interval) / math.Sqrt(float64(c.count))))
+	return true
+}

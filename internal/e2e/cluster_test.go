@@ -167,13 +167,31 @@ func (c *cluster) tryStart(nd *node) error {
 		logFile.Close()
 		return err
 	}
-	// The daemon binds both listeners before serving; give it a moment
-	// and verify the process is still alive.
-	time.Sleep(500 * time.Millisecond)
-	if cmd.ProcessState != nil || cmd.Process.Signal(syscall.Signal(0)) != nil {
-		_ = cmd.Wait()
-		logFile.Close()
-		return fmt.Errorf("process exited immediately")
+	// Poll the readiness endpoint instead of sleeping a fixed interval:
+	// the node is started when /v1/healthz answers, and a process that
+	// died (e.g. a consensus port still in TIME_WAIT from a killed
+	// predecessor) is caught by the liveness probe between polls.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cmd.ProcessState != nil || cmd.Process.Signal(syscall.Signal(0)) != nil {
+			_ = cmd.Wait()
+			logFile.Close()
+			return fmt.Errorf("process exited during startup")
+		}
+		resp, err := httpClient.Get("http://" + nd.httpAddr + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			logFile.Close()
+			return fmt.Errorf("no healthz answer within 5s")
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 	nd.cmd = cmd
 	nd.logFile = logFile

@@ -497,3 +497,37 @@ func TestE20WireTransportSmall(t *testing.T) {
 		t.Fatalf("tcp wire bytes per tx %.0f below payload size %d", perTx, cfg.PayloadBytes)
 	}
 }
+
+func TestE21OverloadSmall(t *testing.T) {
+	cfg := DefaultE21()
+	cfg.Rates = []float64{80, 800}
+	cfg.Duration = time.Second
+	cfg.Users, cfg.SeedArticles = 16, 6
+	tbl, err := RunE21(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per rate plus capacity, p99-ratio, and node-counter rows.
+	if len(tbl.Rows) != len(cfg.Rates)+3 {
+		t.Fatalf("rows=%d want %d", len(tbl.Rows), len(cfg.Rates)+3)
+	}
+	for i := range cfg.Rates {
+		if goodput := cell(t, tbl, i, 1); goodput <= 0 {
+			t.Fatalf("rate %s: goodput %.1f", tbl.Rows[i][0], goodput)
+		}
+		if failed := cell(t, tbl, i, 3); failed != 0 {
+			t.Fatalf("rate %s: %.0f failed requests", tbl.Rows[i][0], failed)
+		}
+	}
+	// The low-rate cell must not shed: 80 req/s is far below capacity.
+	if shed := cell(t, tbl, 0, 2); shed != 0 {
+		t.Fatalf("pre-saturation cell shed %.1f%%", shed)
+	}
+	if capacity := cell(t, tbl, len(cfg.Rates), 1); capacity <= 0 {
+		t.Fatalf("capacity/core %.1f", capacity)
+	}
+	// Node-side counters were scraped from /v1/metrics.
+	if accepted := cell(t, tbl, len(cfg.Rates)+2, 1); accepted <= 0 {
+		t.Fatalf("node accepted %.1f admissions", accepted)
+	}
+}

@@ -9,6 +9,7 @@
 // from the node's indexes. Endpoints:
 //
 //	POST /v1/tx                submit a signed, hex-encoded transaction
+//	GET  /v1/healthz           readiness: height, mempool depth, consensus mode
 //	GET  /v1/chain             chain head summary (incl. checkpoint height)
 //	GET  /v1/commitbus         commit-bus subscriber stats (lag, errors)
 //	GET  /v1/items/{id}        one news item
@@ -19,9 +20,21 @@
 //	GET  /v1/accounts/{addr}   identity + balance + reputation
 //	GET  /v1/proofs/{txid}     light-client Merkle inclusion proof
 //	GET  /v1/blobs/{cid}       raw off-chain article body (verified)
+//	POST /v1/blobs             store an article body off-chain, returns {cid,size}
 //	GET  /v1/search?q=&k=      full-text search over committed articles
 //	GET  /v1/metrics           Prometheus text exposition of the registry
 //	GET  /v1/traces            JSON export of retained spans
+//
+// Overload behaviour: when the platform carries an admission controller
+// (platform.Config.Admission), requests the node cannot take on — a
+// route past its static rate limit, the server-wide edge gate's queue
+// standing above its delay target, a full or slow mempool-admission
+// queue, a saturated blob path — are refused up front with HTTP 429 and
+// a Retry-After header rather than queued without bound. The typed
+// mempool-full error maps to 429 the same way, so clients see one
+// uniform "back off and retry" signal for every capacity condition.
+// /v1/healthz and /v1/metrics bypass the edge gate: an overloaded node
+// must stay observable to operators and load balancers.
 package httpapi
 
 import (
@@ -29,11 +42,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/blobstore"
 	"repro/internal/corpus"
 	"repro/internal/factdb"
@@ -56,6 +71,9 @@ type Server struct {
 	// deployments leave it off and let consensus drive commits.
 	AutoCommit bool
 
+	// admit is the platform's admission controller (nil admits all).
+	admit *admission.Controller
+
 	// Per-route accounting, labeled by the ServeMux pattern so the
 	// cardinality is bounded by the route table. Nil when the platform
 	// has no telemetry registry.
@@ -65,12 +83,13 @@ type Server struct {
 
 // New creates the gateway.
 func New(p *platform.Platform, autoCommit bool) *Server {
-	s := &Server{p: p, AutoCommit: autoCommit}
+	s := &Server{p: p, AutoCommit: autoCommit, admit: p.Admission()}
 	reg := p.Telemetry()
 	s.tmReq = reg.CounterVec("trustnews_httpapi_requests_total", "HTTP requests served, by route pattern and status code.", "route", "status")
 	s.tmLat = reg.HistogramVec("trustnews_httpapi_request_seconds", "HTTP request handling time, by route pattern.", nil, "route")
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tx", s.handleSubmitTx)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/chain", s.handleChain)
 	mux.HandleFunc("GET /v1/blocks/{height}", s.handleBlock)
 	mux.HandleFunc("GET /v1/commitbus", s.handleCommitBus)
@@ -82,6 +101,7 @@ func New(p *platform.Platform, autoCommit bool) *Server {
 	mux.HandleFunc("GET /v1/accounts/{addr}", s.handleAccount)
 	mux.HandleFunc("GET /v1/proofs/{txid}", s.handleProof)
 	mux.HandleFunc("GET /v1/blobs/{cid}", s.handleBlob)
+	mux.HandleFunc("POST /v1/blobs", s.handleBlobPut)
 	mux.HandleFunc("GET /v1/search", s.handleSearch)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
@@ -102,8 +122,15 @@ func (rec *statusRecorder) WriteHeader(code int) {
 
 // ServeHTTP implements http.Handler. With telemetry enabled every
 // request is counted and timed under its ServeMux route pattern.
+// Admission runs here, before the handler: first the static per-route
+// rate limit, then the server-wide edge gate, which bounds how many
+// requests are in service at once and — through its CoDel controller —
+// sheds arrivals when the time spent waiting for a slot stays above
+// target. Health and metrics bypass the edge gate: an operator (or load
+// generator) must be able to observe an overloaded node. Every shed is
+// answered 429 + Retry-After without touching the platform.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.tmReq == nil {
+	if s.admit == nil && s.tmReq == nil {
 		s.mux.ServeHTTP(w, r)
 		return
 	}
@@ -113,9 +140,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
-	s.mux.ServeHTTP(rec, r)
-	s.tmLat.With(route).Observe(time.Since(start).Seconds())
-	s.tmReq.With(route, strconv.Itoa(rec.status)).Inc()
+	switch {
+	case !s.admit.AllowRoute(route):
+		writeShed(rec, fmt.Errorf("%w: route %s over its rate limit", admission.ErrOverCapacity, route))
+	case route == "GET /v1/healthz" || route == "GET /v1/metrics":
+		s.mux.ServeHTTP(rec, r)
+	default:
+		if err := s.admit.AcquireHTTP(); err != nil {
+			writeShed(rec, err)
+		} else {
+			s.mux.ServeHTTP(rec, r)
+			s.admit.ReleaseHTTP()
+		}
+	}
+	if s.tmReq != nil {
+		s.tmLat.With(route).Observe(time.Since(start).Seconds())
+		s.tmReq.With(route, strconv.Itoa(rec.status)).Inc()
+	}
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -154,6 +195,30 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// RetryAfterSeconds is the backoff hint sent with every 429.
+const RetryAfterSeconds = 1
+
+// writeShed answers a capacity refusal: 429 Too Many Requests with a
+// Retry-After hint. Shed is the node protecting its latency — the
+// request was refused before consuming resources, so retrying after a
+// short backoff is safe and expected.
+func writeShed(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+	writeErr(w, http.StatusTooManyRequests, err)
+}
+
+// submitStatus maps a Platform.Submit error to its HTTP status: every
+// capacity condition — admission shed or the typed mempool-full error —
+// is 429 (retryable, with Retry-After); everything else is a 422 the
+// client must fix (bad signature, stale nonce, duplicate, oversized
+// payload).
+func submitStatus(err error) int {
+	if errors.Is(err, admission.ErrOverCapacity) || errors.Is(err, ledger.ErrMempoolFull) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusUnprocessableEntity
+}
+
 // submitRequest is the POST /v1/tx body.
 type submitRequest struct {
 	// TxHex is the hex of ledger.Tx.Encode().
@@ -186,7 +251,11 @@ func (s *Server) handleSubmitTx(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.p.Submit(tx); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		if status := submitStatus(err); status == http.StatusTooManyRequests {
+			writeShed(w, err)
+		} else {
+			writeErr(w, status, err)
+		}
 		return
 	}
 	resp := submitResponse{TxID: tx.ID().String()}
@@ -280,13 +349,20 @@ func (s *Server) handleItem(w http.ResponseWriter, r *http.Request) {
 
 // handleBlob serves a raw article body by content id. The store verifies
 // the bytes against the CID's chunk root on every read, so a corrupted
-// blob surfaces as an error, never as silently wrong content.
+// blob surfaces as an error, never as silently wrong content. Reads
+// pass the blob admission gate: chunk hashing is CPU work, and under
+// overload it is shed with 429 before it queues.
 func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
 	cid, err := blobstore.ParseCID(r.PathValue("cid"))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := s.admit.AcquireBlobRead(); err != nil {
+		writeShed(w, err)
+		return
+	}
+	defer s.admit.ReleaseBlobRead()
 	body, err := s.p.Blobs().Get(cid)
 	if err != nil {
 		status := http.StatusNotFound
@@ -299,6 +375,79 @@ func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
+}
+
+// MaxBlobUploadBytes caps one POST /v1/blobs body. Bodies live off-chain,
+// so the cap is far looser than the on-chain payload limit, but it is
+// still a cap: an unbounded read is an invitation to memory exhaustion.
+const MaxBlobUploadBytes = 4 << 20
+
+// blobPutResponse echoes the stored blob's content id and size — exactly
+// the reference a news.publish transaction carries on-chain.
+type blobPutResponse struct {
+	CID  string `json:"cid"`
+	Size int    `json:"size"`
+}
+
+// handleBlobPut stores an article body off-chain and returns {cid,size}.
+// This is how a remote client publishes with off-chain bodies: upload
+// the body first, then submit a news.publish transaction referencing
+// the returned CID. Uploads share the blob admission gate with reads.
+func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
+	if err := s.admit.AcquireBlobRead(); err != nil {
+		writeShed(w, err)
+		return
+	}
+	defer s.admit.ReleaseBlobRead()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBlobUploadBytes))
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if len(body) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("empty blob body"))
+		return
+	}
+	cid, err := s.p.Blobs().Put(body)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, blobPutResponse{CID: string(cid), Size: len(body)})
+}
+
+// healthzResponse is the readiness report: load generators and the e2e
+// harness poll it instead of sleeping, and operators wire it into
+// orchestration readiness probes.
+type healthzResponse struct {
+	Ready bool `json:"ready"`
+	// Height is the committed chain height.
+	Height uint64 `json:"height"`
+	// MempoolDepth is the number of pending transactions.
+	MempoolDepth int `json:"mempoolDepth"`
+	// Consensus is "attached" for a replicated node, "standalone" for a
+	// self-mining one.
+	Consensus string `json:"consensus"`
+	// CheckpointHeight is the height covered by the latest checkpoint.
+	CheckpointHeight uint64 `json:"checkpointHeight"`
+}
+
+// handleHealthz reports readiness. Answering at all means the platform
+// booted and the API is serving; the body carries the state a harness
+// needs to decide "ready enough" (chain height, mempool depth,
+// consensus mode).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	mode := "standalone"
+	if s.p.ConsensusAttached() {
+		mode = "attached"
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Ready:            true,
+		Height:           s.p.Chain().Height(),
+		MempoolDepth:     s.p.MempoolSize(),
+		Consensus:        mode,
+		CheckpointHeight: s.p.CheckpointHeight(),
+	})
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -380,6 +529,10 @@ type accountResponse struct {
 	Identity   *identity.Record `json:"identity,omitempty"`
 	Balance    uint64           `json:"balance"`
 	Reputation float64          `json:"reputation"`
+	// Nonce is the next expected (committed) nonce for the address, so
+	// remote signers — the load generator included — can sync their
+	// local counters without replaying history.
+	Nonce uint64 `json:"nonce"`
 }
 
 // proofResponse serializes a light-client inclusion proof; TxRaw is hex.
@@ -413,7 +566,7 @@ func (s *Server) handleAccount(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := accountResponse{Address: addr.String()}
+	resp := accountResponse{Address: addr.String(), Nonce: s.p.Chain().NextNonce(addr.String())}
 	if rec, err := identity.Lookup(s.p.Engine(), addr); err == nil {
 		resp.Identity = &rec
 	}

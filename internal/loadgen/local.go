@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/httpapi"
+	"repro/internal/platform"
+	"repro/internal/telemetry"
+)
+
+// LocalNode is an in-process trustnewsd-equivalent for experiments and
+// smoke tests: a full platform (admission control and telemetry on, as
+// in production) behind a real HTTP listener, with a ticker committing
+// blocks the way a standalone daemon does. Measurements against it
+// include the complete serving path minus only cross-host networking.
+type LocalNode struct {
+	P   *platform.Platform
+	URL string
+
+	srv      *httptest.Server
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// StartLocalNode boots the node. commitEvery is the block cadence; the
+// default platform config is used with telemetry and admission enabled
+// (override via mutate, which may be nil).
+func StartLocalNode(commitEvery time.Duration, mutate func(*platform.Config)) (*LocalNode, error) {
+	cfg := platform.DefaultConfig()
+	cfg.Telemetry = telemetry.New()
+	cfg.Admission = admission.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	p, err := platform.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &LocalNode{
+		P:    p,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	n.srv = httptest.NewServer(httpapi.New(p, false))
+	n.URL = n.srv.URL
+	go n.commitLoop(commitEvery)
+	return n, nil
+}
+
+// commitLoop mimics the daemon's standalone commit ticker.
+func (n *LocalNode) commitLoop(every time.Duration) {
+	defer close(n.done)
+	if every <= 0 {
+		every = 50 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			// Commit errors here mean a bug elsewhere; the pool
+			// simply retries next tick and tests observe the stall.
+			_ = n.P.CommitAll()
+		}
+	}
+}
+
+// Close stops the commit loop and the HTTP listener.
+func (n *LocalNode) Close() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		<-n.done
+		n.srv.Close()
+	})
+}

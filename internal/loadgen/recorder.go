@@ -1,0 +1,146 @@
+package loadgen
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// recorder accumulates per-operation outcomes and latencies during a
+// run. One mutex over plain slices is deliberate: at the rates a single
+// node sustains (thousands of requests per second) the critical section
+// is tens of nanoseconds and never the bottleneck, and keeping raw
+// samples gives exact percentiles instead of histogram-bucket bounds.
+type recorder struct {
+	mu  sync.Mutex
+	ops map[string]*opRecord
+}
+
+type opRecord struct {
+	ok        int
+	shed      int
+	failed    int
+	latencies []time.Duration // successful requests only
+	firstErr  string
+}
+
+func newRecorder() *recorder {
+	return &recorder{ops: make(map[string]*opRecord)}
+}
+
+// record files one completed request under its operation name.
+func (r *recorder) record(op string, out Outcome, d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.ops[op]
+	if rec == nil {
+		rec = &opRecord{}
+		r.ops[op] = rec
+	}
+	switch out {
+	case OutcomeOK:
+		rec.ok++
+		rec.latencies = append(rec.latencies, d)
+	case OutcomeShed:
+		rec.shed++
+	default:
+		rec.failed++
+		if rec.firstErr == "" && err != nil {
+			rec.firstErr = err.Error()
+		}
+	}
+}
+
+// OpStats is the per-operation scoreboard in the run summary.
+type OpStats struct {
+	Count    int     `json:"count"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`
+	Failed   int     `json:"failed"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	P999Ms   float64 `json:"p999_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	FirstErr string  `json:"first_error,omitempty"`
+}
+
+// Summary is the machine-readable result of one run. Goodput counts
+// only successful requests; shed requests are the node's admission
+// control working as designed and are reported separately from
+// failures, which are protocol or transport errors.
+type Summary struct {
+	OfferedRate   float64 `json:"offered_rate"`   // requested arrivals/s
+	WallSeconds   float64 `json:"wall_seconds"`   // measured span
+	Offered       int     `json:"offered"`        // scheduled arrivals
+	Sent          int     `json:"sent"`           // arrivals dispatched
+	ClientDropped int     `json:"client_dropped"` // arrivals dropped at the in-flight cap
+	OK            int     `json:"ok"`
+	Shed          int     `json:"shed"`
+	Failed        int     `json:"failed"`
+	GoodputPerSec float64 `json:"goodput_per_sec"` // OK / wall
+	ShedRate      float64 `json:"shed_rate"`       // (Shed+ClientDropped) / Offered
+
+	Ops map[string]OpStats `json:"ops"`
+}
+
+// summarize freezes the recorder into a Summary.
+func (r *recorder) summarize(offeredRate float64, offered, sent, dropped int, wall time.Duration) Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Summary{
+		OfferedRate:   offeredRate,
+		WallSeconds:   wall.Seconds(),
+		Offered:       offered,
+		Sent:          sent,
+		ClientDropped: dropped,
+		Ops:           make(map[string]OpStats, len(r.ops)),
+	}
+	for op, rec := range r.ops {
+		st := OpStats{
+			Count:    rec.ok + rec.shed + rec.failed,
+			OK:       rec.ok,
+			Shed:     rec.shed,
+			Failed:   rec.failed,
+			FirstErr: rec.firstErr,
+		}
+		if len(rec.latencies) > 0 {
+			sorted := append([]time.Duration(nil), rec.latencies...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			st.P50Ms = percentile(sorted, 0.50).Seconds() * 1e3
+			st.P99Ms = percentile(sorted, 0.99).Seconds() * 1e3
+			st.P999Ms = percentile(sorted, 0.999).Seconds() * 1e3
+			var sum time.Duration
+			for _, d := range sorted {
+				sum += d
+			}
+			st.MeanMs = sum.Seconds() / float64(len(sorted)) * 1e3
+		}
+		s.Ops[op] = st
+		s.OK += rec.ok
+		s.Shed += rec.shed
+		s.Failed += rec.failed
+	}
+	if wall > 0 {
+		s.GoodputPerSec = float64(s.OK) / wall.Seconds()
+	}
+	if offered > 0 {
+		s.ShedRate = float64(s.Shed+dropped) / float64(offered)
+	}
+	return s
+}
+
+// percentile reads the pth quantile (0..1) from an ascending slice
+// using the nearest-rank method.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

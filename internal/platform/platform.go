@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/aidetect"
 	"repro/internal/blobstore"
 	"repro/internal/commitbus"
@@ -94,6 +95,14 @@ type Config struct {
 	// span tracing. Nil — the default — keeps every instrument a no-op, so
 	// library users pay nothing.
 	Telemetry *telemetry.Registry
+	// Admission, when non-nil, enables platform-wide admission control:
+	// Submit passes through a bounded-concurrency gate with CoDel-style
+	// queue-delay shedding, blob reads at the API edge are gated the
+	// same way, and the HTTP gateway enforces any static per-route rate
+	// limits. Shed requests fail fast with admission.ErrOverCapacity
+	// (HTTP 429) instead of queueing without bound. Nil — the default —
+	// admits everything, so existing callers are unaffected.
+	Admission *admission.Config
 }
 
 // defaultMempoolCapacity scales the pending pool to the block size: room
@@ -176,6 +185,9 @@ type Platform struct {
 	// clock supplies block timestamps (fixed epoch by default for
 	// reproducibility; override with SetClock).
 	clock func() time.Time
+	// admit is the node's admission controller (nil without
+	// Config.Admission; every method is nil-safe and admits).
+	admit *admission.Controller
 	// tm holds the node's cached commit-path instrument handles (nil
 	// without Config.Telemetry; all methods are nil-safe).
 	tm platformMetrics
@@ -222,6 +234,11 @@ func New(cfg Config) (*Platform, error) {
 	}
 	p.verifier = newVerifier(cfg)
 	p.chain.SetVerifier(p.verifier)
+	admit, err := admission.NewController(cfg.Admission, cfg.Telemetry)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	p.admit = admit
 	if cfg.BlobDir != "" {
 		blobs, err := blobstore.Open(cfg.BlobDir, cfg.BlobChunkSize)
 		if err != nil {
@@ -362,6 +379,23 @@ func (p *Platform) Telemetry() *telemetry.Registry { return p.cfg.Telemetry }
 // BusStats reports per-subscriber delivery/error/lag accounting.
 func (p *Platform) BusStats() []commitbus.SubscriberStats { return p.bus.Stats() }
 
+// Admission returns the node's admission controller (nil when the node
+// was built without Config.Admission — every method on it still admits).
+func (p *Platform) Admission() *admission.Controller { return p.admit }
+
+// MempoolSize reports the number of pending transactions (the /v1/healthz
+// mempool-depth field).
+func (p *Platform) MempoolSize() int { return p.pool.Size() }
+
+// ConsensusAttached reports whether the platform runs replicated under
+// external consensus (AttachConsensus was called) rather than mining its
+// own blocks.
+func (p *Platform) ConsensusAttached() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replicated
+}
+
 // ExpertMiner exposes the incremental per-topic item index.
 func (p *Platform) ExpertMiner() *supplychain.ExpertMiner { return p.experts }
 
@@ -387,7 +421,18 @@ func (p *Platform) TrainClassifier(c aidetect.TextClassifier, train []corpus.Sta
 // Submit verifies and enqueues a signed transaction. In cluster mode the
 // accepted transaction is also handed to the relay hook (SetOnSubmit) so
 // peer validators learn about it before their next proposal.
+//
+// With Config.Admission set, Submit first passes the mempool admission
+// gate: concurrent signature verifications are bounded, a short queue
+// absorbs bursts, and once queue delay indicates sustained overload the
+// gate sheds with admission.ErrOverCapacity before any verification
+// work is spent — the transaction was never admitted and its nonce is
+// safe to reuse.
 func (p *Platform) Submit(tx *ledger.Tx) error {
+	if err := p.admit.AcquireMempool(); err != nil {
+		return err
+	}
+	defer p.admit.ReleaseMempool()
 	if err := p.pool.Add(tx); err != nil {
 		return err
 	}

@@ -369,3 +369,17 @@ func BenchmarkE21OverloadSweep(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE22IngestSearch(b *testing.B) {
+	cfg := experiments.DefaultE22()
+	cfg.DocCounts = []int{1000, 4000}
+	cfg.HotDocs, cfg.HotQueries = 2000, 1000
+	cfg.Shards = []int{1, 16}
+	cfg.CommitTxs, cfg.IngestArticles = 200, 60
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE22(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -229,6 +229,16 @@ func run(quick bool, only, jsonPath string) error {
 			}
 			return experiments.RunE21(cfg)
 		}},
+		{"E22", func(q bool) (*experiments.Table, error) {
+			cfg := experiments.DefaultE22()
+			if q {
+				cfg.DocCounts = []int{1000, 4000}
+				cfg.HotDocs, cfg.HotQueries = 2000, 1000
+				cfg.Shards = []int{1, 16}
+				cfg.CommitTxs, cfg.IngestArticles = 1000, 60
+			}
+			return experiments.RunE22(cfg)
+		}},
 	}
 	dump := jsonDump{Quick: quick, Results: []jsonResult{}}
 	for _, r := range runners {

@@ -36,6 +36,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -46,8 +47,10 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/corpus"
 	"repro/internal/httpapi"
+	"repro/internal/ingest"
 	"repro/internal/ledger"
 	"repro/internal/platform"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/transport/tcp"
@@ -63,6 +66,10 @@ type options struct {
 	blobDir    string
 	ckptEvery  time.Duration
 	pprofAddr  string
+
+	// Async ingestion pipeline (POST /v1/ingest).
+	ingestWorkers  int
+	ingestQueueCap int
 
 	// Cluster mode (all empty/zero = standalone node).
 	nodeID        string
@@ -80,6 +87,8 @@ func main() {
 	flag.StringVar(&o.blobDir, "blob-dir", "", "off-chain article body store directory (default <data>/blobs for durable nodes, in-memory otherwise)")
 	flag.DurationVar(&o.ckptEvery, "checkpoint-interval", 5*time.Minute, "how often a durable node checkpoints derived state (0 disables)")
 	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it private)")
+	flag.IntVar(&o.ingestWorkers, "ingest-workers", 4, "async ingestion pipeline workers (0 disables POST /v1/ingest)")
+	flag.IntVar(&o.ingestQueueCap, "ingest-queue-cap", 4096, "ingest queue capacity; beyond it enqueues shed with 429")
 	flag.StringVar(&o.nodeID, "node-id", "", "validator identity (p0..p{n-1}); enables cluster mode")
 	flag.StringVar(&o.listen, "listen", "", "consensus TCP listen address (default: this node's -peers entry)")
 	flag.StringVar(&o.peers, "peers", "", "full validator address map, id=host:port comma-separated, self included")
@@ -167,11 +176,26 @@ func run(ctx context.Context, o options) error {
 	if o.pprofAddr != "" {
 		go servePprof(o.pprofAddr)
 	}
+	// Standalone nodes mine a block per accepted tx (synchronous
+	// semantics); clustered nodes let consensus drive commits.
+	api := httpapi.New(p, !clustered)
+	var pipeline *ingest.Pipeline
+	if o.ingestWorkers > 0 {
+		pipeline, err = startIngest(p, o)
+		if err != nil {
+			return err
+		}
+		api.SetIngest(pipeline)
+		if !clustered {
+			// Pipeline workers publish straight into the mempool, not
+			// through the auto-committing HTTP path, so a standalone node
+			// needs a commit ticker for their transactions to land.
+			go commitLoop(ctx, p)
+		}
+	}
 	srv := &http.Server{
-		Addr: o.addr,
-		// Standalone nodes mine a block per accepted tx (synchronous
-		// semantics); clustered nodes let consensus drive commits.
-		Handler:           httpapi.New(p, !clustered),
+		Addr:              o.addr,
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -197,6 +221,16 @@ func run(ctx context.Context, o options) error {
 	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
 		return serveErr
 	}
+	if pipeline != nil {
+		// Stop the workers, then seal the queue WAL. In-flight leases
+		// simply replay on the next start — nothing acked is lost.
+		pipeline.Stop()
+		if err := pipeline.Queue().Close(); err != nil {
+			log.Printf("shutdown: ingest queue: %v", err)
+		}
+		st := pipeline.Stats()
+		log.Printf("shutdown: ingest pipeline stopped (published %d, deduped %d, queued %d)", st.Published, st.Deduped, st.Queue.Depth)
+	}
 	if o.dataDir != "" && p.Chain().Height() != p.CheckpointHeight() {
 		if err := p.WriteCheckpoint(); err != nil {
 			return fmt.Errorf("final checkpoint: %w", err)
@@ -204,6 +238,51 @@ func run(ctx context.Context, o options) error {
 		log.Printf("shutdown: final checkpoint at height %d", p.CheckpointHeight())
 	}
 	return nil
+}
+
+// startIngest builds and starts the async ingestion pipeline. Durable
+// nodes back the queue with a WAL beside the chain log so a crash loses
+// no accepted article; in-memory nodes get an in-memory queue.
+func startIngest(p *platform.Platform, o options) (*ingest.Pipeline, error) {
+	var wal store.Log
+	if o.dataDir != "" {
+		fl, err := store.OpenFileLog(filepath.Join(o.dataDir, "ingest.wal"))
+		if err != nil {
+			return nil, fmt.Errorf("ingest WAL: %w", err)
+		}
+		wal = fl
+	}
+	q, err := ingest.NewQueue(wal, ingest.QueueConfig{Capacity: o.ingestQueueCap})
+	if err != nil {
+		return nil, fmt.Errorf("ingest queue: %w", err)
+	}
+	pl := ingest.NewPipeline(p, q, ingest.PipelineConfig{Workers: o.ingestWorkers})
+	pl.Instrument(p.Telemetry())
+	pl.Start()
+	if d := q.Depth(); d > 0 {
+		log.Printf("ingest queue recovered %d unacked articles from WAL", d)
+	}
+	log.Printf("ingest pipeline: %d workers, queue capacity %d", o.ingestWorkers, o.ingestQueueCap)
+	return pl, nil
+}
+
+// commitLoop periodically drains the mempool on a standalone node so
+// transactions submitted outside the HTTP path (the ingest pipeline's
+// workers) commit without waiting for the next API-driven block.
+func commitLoop(ctx context.Context, p *platform.Platform) {
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if err := p.CommitAll(); err != nil {
+				log.Printf("commit loop: %v", err)
+				return
+			}
+		}
+	}
 }
 
 // joinCluster wires the platform into a TCP-backed consensus cluster:

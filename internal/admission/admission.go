@@ -54,6 +54,11 @@ type Config struct {
 	// BlobRead gates blob fetches at the API edge (GET/POST /v1/blobs):
 	// chunk hashing and Merkle verification are CPU work worth bounding.
 	BlobRead GateConfig
+	// Ingest gates article enqueues into the ingestion pipeline (POST
+	// /v1/ingest and any other queue producer): the queue itself is
+	// bounded, but the gate sheds bursts before they reach the WAL
+	// append. The zero value disables this gate.
+	Ingest GateConfig
 	// HTTP gates whole-request concurrency at the API edge, covering
 	// every route except health and metrics (observability must survive
 	// overload). Unlike the resource gates above, it bounds the total
@@ -83,6 +88,10 @@ func DefaultConfig() *Config {
 			MaxConcurrent: 4 * cores,
 			MaxQueue:      16 * cores,
 		},
+		Ingest: GateConfig{
+			MaxConcurrent: 2 * cores,
+			MaxQueue:      32 * cores,
+		},
 		// Wide enough that the edge gate only binds when the host is
 		// genuinely out of CPU; the queue holds a few milliseconds of
 		// work so CoDel has something to regulate.
@@ -98,6 +107,7 @@ func DefaultConfig() *Config {
 type Controller struct {
 	mempool  *Gate
 	blobRead *Gate
+	ingest   *Gate // nil when Config.Ingest is zero
 	http     *Gate // nil when Config.HTTP is zero
 	routes   *RouteLimiter
 	metrics  *Metrics
@@ -121,6 +131,14 @@ func NewController(cfg *Config, reg *telemetry.Registry) (*Controller, error) {
 		return nil, fmt.Errorf("admission: blob-read gate: %w", err)
 	}
 	br.Instrument(m, "blob")
+	var ig *Gate
+	if cfg.Ingest != (GateConfig{}) {
+		ig, err = NewGate(cfg.Ingest)
+		if err != nil {
+			return nil, fmt.Errorf("admission: ingest gate: %w", err)
+		}
+		ig.Instrument(m, "ingest")
+	}
 	var hg *Gate
 	if cfg.HTTP != (GateConfig{}) {
 		hg, err = NewGate(cfg.HTTP)
@@ -134,7 +152,7 @@ func NewController(cfg *Config, reg *telemetry.Registry) (*Controller, error) {
 		return nil, err
 	}
 	rl.Instrument(m)
-	return &Controller{mempool: mp, blobRead: br, http: hg, routes: rl, metrics: m}, nil
+	return &Controller{mempool: mp, blobRead: br, ingest: ig, http: hg, routes: rl, metrics: m}, nil
 }
 
 // AcquireMempool admits one transaction-submission into the mempool
@@ -166,6 +184,23 @@ func (c *Controller) AcquireBlobRead() error {
 func (c *Controller) ReleaseBlobRead() {
 	if c != nil {
 		c.blobRead.Release()
+	}
+}
+
+// AcquireIngest admits one article enqueue into the ingestion pipeline
+// (ErrOverCapacity when shed; always admits when the ingest gate is not
+// configured). Pair with ReleaseIngest.
+func (c *Controller) AcquireIngest() error {
+	if c == nil {
+		return nil
+	}
+	return c.ingest.Acquire()
+}
+
+// ReleaseIngest returns the ingest slot.
+func (c *Controller) ReleaseIngest() {
+	if c != nil {
+		c.ingest.Release()
 	}
 }
 

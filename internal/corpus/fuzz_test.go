@@ -1,0 +1,50 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize hammers the tokenizer that sits on the search ingest
+// path: every indexed document and every query passes through it, so
+// it must never panic on hostile text, and it must uphold the
+// invariants indexing depends on — tokens are non-empty, lowercase
+// [a-z0-9] only, and tokenizing is idempotent (re-tokenizing the
+// joined tokens yields the same tokens, so a document's index terms
+// are stable across re-ingestion).
+func FuzzTokenize(f *testing.F) {
+	f.Add("Senate Passes Budget, 51-49!")
+	f.Add("")
+	f.Add("   \t\n\r ")
+	f.Add("ALL-CAPS HEADLINE: \"shock\" claims...")
+	f.Add("unicode éèê mixed 世界 text \U0001F600")
+	f.Add(strings.Repeat("a", 1<<12))
+	f.Add("\xff\xfe invalid utf8 \x80")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		toks := Tokenize(text)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if !utf8.ValidString(tok) {
+				t.Fatalf("token %q is not valid UTF-8", tok)
+			}
+			for _, r := range tok {
+				if !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9') {
+					t.Fatalf("token %q contains %q outside [a-z0-9]", tok, r)
+				}
+			}
+		}
+		again := Tokenize(strings.Join(toks, " "))
+		if len(again) != len(toks) {
+			t.Fatalf("tokenize not idempotent: %d tokens became %d", len(toks), len(again))
+		}
+		for i := range toks {
+			if toks[i] != again[i] {
+				t.Fatalf("tokenize not idempotent at %d: %q vs %q", i, toks[i], again[i])
+			}
+		}
+	})
+}

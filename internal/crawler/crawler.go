@@ -5,12 +5,16 @@
 // credible outlets republish facts, clickbait sites mix modified items in,
 // and fake-news mills emit fabrications.
 //
-// The crawler polls sources, deduplicates by normalized content, assesses
-// each source's track record from the platform's own ranking history (the
-// OpenSources methodology, automated), and publishes fetched items to the
-// news supply chain under the crawler's account with the source recorded
-// as an attribute — so trace-based ranking immediately applies to
-// ingested content.
+// The crawler polls sources, deduplicates by normalized content, and
+// hands fetched articles to the platform. Its primary mode is as a
+// producer for the durable ingestion queue (internal/ingest): CrawlOnce
+// enqueues unseen articles and the pipeline's workers extract, chunk
+// and publish them asynchronously, so a burst of crawled content never
+// couples to the commit path. The legacy inline mode (New without a
+// pipeline) publishes synchronously and ranks each item immediately,
+// which the source-assessment flow uses to build each source's track
+// record from the platform's own ranking history (the OpenSources
+// methodology, automated).
 package crawler
 
 import (
@@ -22,6 +26,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/factdb"
+	"repro/internal/ingest"
 	"repro/internal/platform"
 )
 
@@ -152,11 +157,16 @@ func (w *Web) Fetch(sourceID string, n int) ([]Article, error) {
 	return out, nil
 }
 
-// Crawler polls the web and ingests into a platform.
+// Crawler polls the web and ingests into a platform — through the
+// durable ingest queue (producer mode) or by publishing inline (legacy
+// assessment mode).
 type Crawler struct {
 	web   *Web
 	p     *platform.Platform
 	actor *platform.Actor
+	// pipeline, when set, makes the crawler a queue producer: CrawlOnce
+	// enqueues and the pipeline publishes asynchronously.
+	pipeline *ingest.Pipeline
 	// seen deduplicates by normalized content key.
 	seen map[string]bool
 	// perSource tracks how ingested items ranked, per source.
@@ -183,7 +193,8 @@ func (s *SourceStats) Reliability() float64 {
 	return float64(s.Factual) / float64(s.Ingested)
 }
 
-// New creates a crawler ingesting into p under a dedicated account.
+// New creates a crawler ingesting into p under a dedicated account
+// (legacy inline mode: publish + rank synchronously).
 func New(web *Web, p *platform.Platform) *Crawler {
 	return &Crawler{
 		web:       web,
@@ -194,9 +205,24 @@ func New(web *Web, p *platform.Platform) *Crawler {
 	}
 }
 
-// CrawlOnce fetches n articles from every source, publishes the unseen
-// ones, ranks them, and updates source statistics. It returns the number
-// of newly ingested items.
+// NewProducer creates a crawler feeding the durable ingest queue:
+// CrawlOnce enqueues unseen articles and returns; extraction,
+// off-chain chunking and publication happen in the pipeline's workers.
+func NewProducer(web *Web, pl *ingest.Pipeline) *Crawler {
+	return &Crawler{
+		web:       web,
+		pipeline:  pl,
+		seen:      make(map[string]bool),
+		perSource: make(map[string]*SourceStats),
+	}
+}
+
+// CrawlOnce fetches n articles from every source and ingests the
+// unseen ones, returning how many were newly ingested. In producer
+// mode that means a durable enqueue (a full queue stops the crawl —
+// the producer backs off rather than dropping silently); in legacy
+// mode each item is published, ranked, and folded into the source's
+// track record.
 func (c *Crawler) CrawlOnce(n int) (int, error) {
 	ingested := 0
 	for _, id := range c.web.SourceIDs() {
@@ -210,6 +236,14 @@ func (c *Crawler) CrawlOnce(n int) (int, error) {
 				continue
 			}
 			c.seen[key] = true
+			if c.pipeline != nil {
+				if _, err := c.pipeline.Enqueue(ingest.Article{Source: a.SourceID, Topic: a.Topic, Text: a.Text}); err != nil {
+					return ingested, fmt.Errorf("crawler: enqueue from %s: %w", a.SourceID, err)
+				}
+				c.sourceStats(a.SourceID).Ingested++
+				ingested++
+				continue
+			}
 			c.seq++
 			itemID := fmt.Sprintf("crawl-%s-%d", a.SourceID, c.seq)
 			if err := c.actor.PublishNews(itemID, a.Topic, a.Text, nil, ""); err != nil {
@@ -220,11 +254,7 @@ func (c *Crawler) CrawlOnce(n int) (int, error) {
 			if err != nil {
 				return ingested, fmt.Errorf("crawler: rank %s: %w", itemID, err)
 			}
-			st, ok := c.perSource[a.SourceID]
-			if !ok {
-				st = &SourceStats{SourceID: a.SourceID}
-				c.perSource[a.SourceID] = st
-			}
+			st := c.sourceStats(a.SourceID)
 			st.Ingested++
 			st.scoreSum += rank.Score
 			st.AvgScore = st.scoreSum / float64(st.Ingested)
@@ -236,6 +266,16 @@ func (c *Crawler) CrawlOnce(n int) (int, error) {
 		}
 	}
 	return ingested, nil
+}
+
+// sourceStats returns (creating if needed) the per-source record.
+func (c *Crawler) sourceStats(sourceID string) *SourceStats {
+	st, ok := c.perSource[sourceID]
+	if !ok {
+		st = &SourceStats{SourceID: sourceID}
+		c.perSource[sourceID] = st
+	}
+	return st
 }
 
 // Stats returns the per-source track records, most reliable first.

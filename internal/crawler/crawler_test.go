@@ -3,9 +3,11 @@ package crawler
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/aidetect"
 	"repro/internal/corpus"
+	"repro/internal/ingest"
 	"repro/internal/platform"
 )
 
@@ -148,6 +150,79 @@ func TestCrawlerAssessesSources(t *testing.T) {
 	// The ranking order mirrors the OpenSources categorization.
 	if stats[0].SourceID == "daily-outrage" {
 		t.Fatalf("fake mill ranked most reliable: %+v", stats)
+	}
+}
+
+func TestCrawlerProducesIntoIngestQueue(t *testing.T) {
+	web, err := NewWeb(6, DefaultSources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newIngestPlatform(t, web)
+	q, err := ingest.NewQueue(nil, ingest.QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ingest.NewPipeline(p, q, ingest.PipelineConfig{Workers: 2})
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				if err := p.CommitAll(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	pl.Start()
+	defer pl.Stop()
+
+	c := NewProducer(web, pl)
+	n, err := c.CrawlOnce(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing enqueued")
+	}
+	// Enqueue is decoupled from publication: drain the pipeline, then the
+	// published+deduped settle count must cover every enqueued article.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := pl.Stats()
+		if int(st.Published+st.Deduped+st.Failed) >= n && st.Queue.Depth == 0 && st.Queue.Inflight == 0 && st.AwaitingCommit == 0 {
+			if st.Failed != 0 || len(q.Dead()) != 0 {
+				t.Fatalf("crawled articles failed: %+v dead=%d", st, len(q.Dead()))
+			}
+			if int(st.Published) != p.Graph().Len() {
+				t.Fatalf("graph len=%d published=%d", p.Graph().Len(), st.Published)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline did not settle: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Per-source stats track enqueues in producer mode.
+	total := 0
+	for _, st := range c.Stats() {
+		total += st.Ingested
+	}
+	if total != n {
+		t.Fatalf("stats total=%d want %d", total, n)
+	}
+	// A second crawl over the same sources dedups already-seen content.
+	n2, err := c.CrawlOnce(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 >= 4*5 {
+		t.Fatalf("no dedup across crawls: n2=%d", n2)
 	}
 }
 

@@ -498,6 +498,60 @@ func TestE20WireTransportSmall(t *testing.T) {
 	}
 }
 
+func TestE22IngestSmall(t *testing.T) {
+	cfg := DefaultE22()
+	cfg.DocCounts = []int{500, 2000}
+	cfg.HotDocs, cfg.HotQueries = 1500, 600
+	cfg.Shards = []int{1, 16}
+	cfg.CommitTxs, cfg.IngestArticles = 120, 40
+	tbl, err := RunE22(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: one per doc count, locked_hot, one per shard count,
+	// sharded_idle, commit_idle, commit_with_ingest, commit_hot_pct,
+	// recovery.
+	wantRows := len(cfg.DocCounts) + 1 + len(cfg.Shards) + 1 + 3 + 1
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("rows=%d want %d: %v", len(tbl.Rows), wantRows, tbl.Rows)
+	}
+	// Scale sweep: every document indexed, and per-document heap must
+	// not grow with corpus size (sub-linear index growth).
+	for i, n := range cfg.DocCounts {
+		if got := cell(t, tbl, i, 1); got != float64(n) {
+			t.Fatalf("scale row %d indexed %.0f docs want %d", i, got, n)
+		}
+	}
+	small := cell(t, tbl, 0, 5)
+	big := cell(t, tbl, len(cfg.DocCounts)-1, 5)
+	if big > small*1.5 {
+		t.Fatalf("heap per doc grew with corpus: %.1f -> %.1f bytes", small, big)
+	}
+	// Every latency cell produced positive tails.
+	for r := len(cfg.DocCounts); r < len(cfg.DocCounts)+len(cfg.Shards)+2; r++ {
+		if p99 := cell(t, tbl, r, 4); p99 <= 0 {
+			t.Fatalf("row %s p99=%.3f", tbl.Rows[r][0], p99)
+		}
+	}
+	// Commit cells ran; the hot/idle ratio is positive (the 95% floor is
+	// asserted on full-size benchrunner output, not this reduced cell).
+	ratioRow := len(tbl.Rows) - 2
+	if pct := cell(t, tbl, ratioRow, 2); pct <= 0 {
+		t.Fatalf("commit hot pct %.1f", pct)
+	}
+	// Recovery: everything recovered, nothing acked lost, no duplicates.
+	rec := len(tbl.Rows) - 1
+	if lost := cell(t, tbl, rec, 3); lost != 0 {
+		t.Fatalf("recovery lost %.0f acked articles", lost)
+	}
+	if dup := cell(t, tbl, rec, 4); dup != 0 {
+		t.Fatalf("recovery produced %.0f duplicates", dup)
+	}
+	if got := cell(t, tbl, rec, 2); got <= 0 {
+		t.Fatalf("recovery recovered %.0f items", got)
+	}
+}
+
 func TestE21OverloadSmall(t *testing.T) {
 	cfg := DefaultE21()
 	cfg.Rates = []float64{80, 800}

@@ -21,7 +21,9 @@
 //	GET  /v1/proofs/{txid}     light-client Merkle inclusion proof
 //	GET  /v1/blobs/{cid}       raw off-chain article body (verified)
 //	POST /v1/blobs             store an article body off-chain, returns {cid,size}
-//	GET  /v1/search?q=&k=      full-text search over committed articles
+//	GET  /v1/search?q=&limit=&offset=&ranker=  ranked (BM25 default), paginated full-text search
+//	POST /v1/ingest            enqueue an article into the ingestion pipeline
+//	GET  /v1/ingest            ingestion pipeline + queue statistics
 //	GET  /v1/metrics           Prometheus text exposition of the registry
 //	GET  /v1/traces            JSON export of retained spans
 //
@@ -53,12 +55,14 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/factdb"
 	"repro/internal/identity"
+	"repro/internal/ingest"
 	"repro/internal/keys"
 	"repro/internal/ledger"
 	"repro/internal/light"
 	"repro/internal/merkle"
 	"repro/internal/platform"
 	"repro/internal/ranking"
+	"repro/internal/search"
 	"repro/internal/telemetry"
 )
 
@@ -73,6 +77,10 @@ type Server struct {
 
 	// admit is the platform's admission controller (nil admits all).
 	admit *admission.Controller
+
+	// pipeline, when set (SetIngest), backs the /v1/ingest endpoints and
+	// the healthz ingest fields. Nil on nodes without an ingest pipeline.
+	pipeline *ingest.Pipeline
 
 	// Per-route accounting, labeled by the ServeMux pattern so the
 	// cardinality is bounded by the route table. Nil when the platform
@@ -103,11 +111,17 @@ func New(p *platform.Platform, autoCommit bool) *Server {
 	mux.HandleFunc("GET /v1/blobs/{cid}", s.handleBlob)
 	mux.HandleFunc("POST /v1/blobs", s.handleBlobPut)
 	mux.HandleFunc("GET /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/ingest", s.handleIngestStats)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux = mux
 	return s
 }
+
+// SetIngest attaches an ingestion pipeline: POST /v1/ingest enqueues
+// through it and /v1/healthz gains queue-depth and indexer-lag fields.
+func (s *Server) SetIngest(pl *ingest.Pipeline) { s.pipeline = pl }
 
 // statusRecorder captures the status code a handler writes.
 type statusRecorder struct {
@@ -430,6 +444,15 @@ type healthzResponse struct {
 	Consensus string `json:"consensus"`
 	// CheckpointHeight is the height covered by the latest checkpoint.
 	CheckpointHeight uint64 `json:"checkpointHeight"`
+	// IndexerLagDocs is the async search indexer's backlog: committed
+	// documents not yet visible to queries.
+	IndexerLagDocs int `json:"indexerLagDocs"`
+	// IngestQueueDepth is the live ingest queue depth (absent without an
+	// attached pipeline).
+	IngestQueueDepth *int `json:"ingestQueueDepth,omitempty"`
+	// IngestDead is the ingest dead-letter count (absent without an
+	// attached pipeline).
+	IngestDead *int `json:"ingestDead,omitempty"`
 }
 
 // handleHealthz reports readiness. Answering at all means the platform
@@ -441,31 +464,121 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.p.ConsensusAttached() {
 		mode = "attached"
 	}
-	writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Ready:            true,
 		Height:           s.p.Chain().Height(),
 		MempoolDepth:     s.p.MempoolSize(),
 		Consensus:        mode,
 		CheckpointHeight: s.p.CheckpointHeight(),
-	})
+		IndexerLagDocs:   s.p.SearchIndexerStats().Pending,
+	}
+	if s.pipeline != nil {
+		qs := s.pipeline.Queue().Stats()
+		resp.IngestQueueDepth = &qs.Depth
+		resp.IngestDead = &qs.Dead
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleSearch serves ranked, paginated full-text search. Parameters:
+// q (required), limit (default 10; legacy alias k), offset (default 0),
+// ranker ("bm25" default, "tfidf" for the legacy scoring). The response
+// is a search.Page: {total, offset, results}.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if strings.TrimSpace(q) == "" {
 		writeErr(w, http.StatusBadRequest, errors.New("missing q parameter"))
 		return
 	}
-	k := 10
-	if ks := r.URL.Query().Get("k"); ks != "" {
-		v, err := strconv.Atoi(ks)
-		if err != nil || v <= 0 {
-			writeErr(w, http.StatusBadRequest, errors.New("k must be a positive integer"))
+	limit := 10
+	for _, key := range []string{"k", "limit"} {
+		if ks := r.URL.Query().Get(key); ks != "" {
+			v, err := strconv.Atoi(ks)
+			if err != nil || v <= 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("%s must be a positive integer", key))
+				return
+			}
+			limit = v
+		}
+	}
+	offset := 0
+	if os := r.URL.Query().Get("offset"); os != "" {
+		v, err := strconv.Atoi(os)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("offset must be a non-negative integer"))
 			return
 		}
-		k = v
+		offset = v
 	}
-	writeJSON(w, http.StatusOK, s.p.Search(q, k))
+	var ranker search.Ranker
+	switch r.URL.Query().Get("ranker") {
+	case "", "bm25":
+		ranker = search.RankBM25
+	case "tfidf":
+		ranker = search.RankTFIDF
+	default:
+		writeErr(w, http.StatusBadRequest, errors.New("ranker must be bm25 or tfidf"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.p.SearchPage(q, ranker, offset, limit))
+}
+
+// ingestRequest is the POST /v1/ingest body: one article for the
+// pipeline.
+type ingestRequest struct {
+	Source string       `json:"source"`
+	Topic  corpus.Topic `json:"topic"`
+	Text   string       `json:"text"`
+}
+
+// ingestResponse acknowledges a durable enqueue. Seq is the queue
+// sequence (stable across restarts); the article publishes
+// asynchronously under a content-derived item id.
+type ingestResponse struct {
+	Seq uint64 `json:"seq"`
+}
+
+// handleIngest enqueues one article. The enqueue is gated by the ingest
+// admission gate and the queue's own capacity bound; both shed with 429
+// so producers back off instead of stacking up behind the WAL.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.pipeline == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("no ingest pipeline attached"))
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing text"))
+		return
+	}
+	if err := s.admit.AcquireIngest(); err != nil {
+		writeShed(w, err)
+		return
+	}
+	defer s.admit.ReleaseIngest()
+	seq, err := s.pipeline.Enqueue(ingest.Article{Source: req.Source, Topic: req.Topic, Text: req.Text})
+	if err != nil {
+		if errors.Is(err, ingest.ErrQueueFull) {
+			writeShed(w, err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ingestResponse{Seq: seq})
+}
+
+// handleIngestStats reports pipeline + queue accounting.
+func (s *Server) handleIngestStats(w http.ResponseWriter, _ *http.Request) {
+	if s.pipeline == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("no ingest pipeline attached"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.pipeline.Stats())
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {

@@ -11,10 +11,12 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/aidetect"
 	"repro/internal/commitbus"
 	"repro/internal/corpus"
+	"repro/internal/ingest"
 	"repro/internal/keys"
 	"repro/internal/ledger"
 	"repro/internal/light"
@@ -354,13 +356,25 @@ func TestBlobAndSearchEndpoints(t *testing.T) {
 		t.Fatalf("blob status=%d body=%q", resp.StatusCode, raw)
 	}
 
-	// Search finds the committed article.
-	var results []search.Result
-	if code := f.get("/v1/search?q=parliament+treaty&k=3", &results); code != http.StatusOK {
+	// Search finds the committed article (indexing is async: flush so
+	// the query is deterministic).
+	f.p.FlushSearch()
+	var page search.Page
+	if code := f.get("/v1/search?q=parliament+treaty&k=3", &page); code != http.StatusOK {
 		t.Fatalf("search status=%d", code)
 	}
-	if len(results) == 0 || results[0].ID != "n1" {
-		t.Fatalf("search results=%v", results)
+	if page.Total == 0 || len(page.Results) == 0 || page.Results[0].ID != "n1" {
+		t.Fatalf("search page=%+v", page)
+	}
+	// The legacy TF-IDF ranker and explicit pagination stay served.
+	if code := f.get("/v1/search?q=parliament+treaty&limit=1&offset=0&ranker=tfidf", &page); code != http.StatusOK {
+		t.Fatalf("tfidf search status=%d", code)
+	}
+	if len(page.Results) != 1 || page.Results[0].ID != "n1" {
+		t.Fatalf("tfidf page=%+v", page)
+	}
+	if code := f.get("/v1/search?q=treaty&ranker=bogus", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad ranker status=%d", code)
 	}
 
 	// Malformed and missing inputs.
@@ -440,5 +454,77 @@ func TestChainEndpointReportsCheckpointHeight(t *testing.T) {
 	resp.Body.Close()
 	if ch.CheckpointHeight == 0 || ch.CheckpointHeight != ch.Height {
 		t.Fatalf("checkpointHeight=%d height=%d", ch.CheckpointHeight, ch.Height)
+	}
+}
+
+func TestIngestEndpointsAndHealthzFields(t *testing.T) {
+	f := newFixture(t)
+	// Without a pipeline the ingest endpoints refuse and healthz omits
+	// the queue fields.
+	if code := f.get("/v1/ingest", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("no-pipeline stats status=%d", code)
+	}
+	q, err := ingest.NewQueue(nil, ingest.QueueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := ingest.NewPipeline(f.p, q, ingest.PipelineConfig{Workers: 1})
+	pl.Start()
+	t.Cleanup(pl.Stop)
+	if srv, ok := f.srv.Config.Handler.(*Server); ok {
+		srv.SetIngest(pl)
+	} else {
+		t.Fatal("fixture handler is not *Server")
+	}
+
+	body := []byte(`{"source":"wire","topic":"politics","text":"<p>fresh wire copy about the harbor expansion</p>"}`)
+	resp, err := http.Post(f.srv.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("ingest status=%d body=%s", resp.StatusCode, raw)
+	}
+
+	// Drive commits until the pipeline settles the item.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := f.p.CommitAll(); err != nil {
+			t.Fatal(err)
+		}
+		if st := pl.Stats(); st.Published == 1 && st.Queue.Depth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingest never settled: %+v", pl.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var stats ingest.PipelineStats
+	if code := f.get("/v1/ingest", &stats); code != http.StatusOK {
+		t.Fatalf("stats status=%d", code)
+	}
+	if stats.Published != 1 || stats.Queue.Acked != 1 {
+		t.Fatalf("stats=%+v", stats)
+	}
+	var hz healthzResponse
+	if code := f.get("/v1/healthz", &hz); code != http.StatusOK {
+		t.Fatalf("healthz status=%d", code)
+	}
+	if hz.IngestQueueDepth == nil || *hz.IngestQueueDepth != 0 || hz.IngestDead == nil {
+		t.Fatalf("healthz ingest fields = %+v", hz)
+	}
+
+	// Missing text is a client error; an empty-body POST is too.
+	resp2, err := http.Post(f.srv.URL+"/v1/ingest", "application/json", strings.NewReader(`{"source":"wire"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing-text status=%d", resp2.StatusCode)
 	}
 }

@@ -1,0 +1,71 @@
+package ingest
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// DefaultMaxBodyBytes caps extracted bodies; crawled pages routinely
+// embed multi-megabyte boilerplate that has no business on a chain.
+const DefaultMaxBodyBytes = 64 << 10
+
+// Extract normalizes a fetched body into indexable text: markup tags
+// are stripped, the common HTML entities decode, whitespace collapses
+// to single spaces, and the result is capped at maxBytes (on a rune
+// boundary, so truncation never produces invalid UTF-8). maxBytes <= 0
+// means DefaultMaxBodyBytes. The second return reports truncation.
+func Extract(raw string, maxBytes int) (string, bool) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBodyBytes
+	}
+	var b strings.Builder
+	b.Grow(len(raw))
+	inTag := false
+	pendingSpace := false
+	for _, r := range raw {
+		switch {
+		case inTag:
+			if r == '>' {
+				inTag = false
+				pendingSpace = b.Len() > 0
+			}
+		case r == '<':
+			inTag = true
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\v' || r == '\f':
+			pendingSpace = b.Len() > 0
+		default:
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			b.WriteRune(r)
+		}
+	}
+	text := decodeEntities(b.String())
+	text = strings.TrimRight(text, " ")
+	if len(text) <= maxBytes {
+		return text, false
+	}
+	cut := maxBytes
+	for cut > 0 && !utf8.RuneStart(text[cut]) {
+		cut--
+	}
+	return strings.TrimRight(text[:cut], " "), true
+}
+
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&",
+	"&lt;", "<",
+	"&gt;", ">",
+	"&quot;", `"`,
+	"&#39;", "'",
+	"&apos;", "'",
+	"&nbsp;", " ",
+)
+
+func decodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}

@@ -1,0 +1,64 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// FuzzQueueWAL exercises the queue WAL codec against hostile bytes:
+// any record that decodes must re-encode to the identical bytes
+// (round-trip identity is what replay correctness rests on), and no
+// input — truncated headers, hostile length fields, trailing garbage —
+// may panic or over-allocate.
+func FuzzQueueWAL(f *testing.F) {
+	f.Add(encodeRecord(opEnqueue, 0, &Article{Source: "wire", Topic: "econ", Text: "senate passes budget"}))
+	f.Add(encodeRecord(opAck, 17, nil))
+	f.Add(encodeRecord(opDead, 1<<40, nil))
+	f.Add([]byte{})
+	f.Add([]byte{recVersion, opEnqueue})
+	// Hostile length: claims 4GiB of text.
+	hostile := encodeRecord(opAck, 3, nil)
+	hostile[1] = opEnqueue
+	hostile = binary.BigEndian.AppendUint32(hostile, 0xFFFFFFFF)
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, rec []byte) {
+		op, seq, art, err := decodeRecord(rec)
+		if err != nil {
+			return
+		}
+		out := encodeRecord(op, seq, &art)
+		if !bytes.Equal(out, rec) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", rec, out)
+		}
+		op2, seq2, art2, err := decodeRecord(out)
+		if err != nil || op2 != op || seq2 != seq || art2 != art {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzExtract checks the extraction stage never emits invalid UTF-8 or
+// exceeds its byte cap, whatever the input markup.
+func FuzzExtract(f *testing.F) {
+	f.Add("<p>hello &amp; goodbye</p>", 16)
+	f.Add("no markup at all", 4)
+	f.Add("<<<>>>&&&", 0)
+	f.Fuzz(func(t *testing.T, raw string, maxBytes int) {
+		if maxBytes > 1<<20 {
+			maxBytes = 1 << 20
+		}
+		text, _ := Extract(raw, maxBytes)
+		limit := maxBytes
+		if limit <= 0 {
+			limit = DefaultMaxBodyBytes
+		}
+		if len(text) > limit {
+			t.Fatalf("extracted %d bytes > cap %d", len(text), limit)
+		}
+		_ = corpus.Tokenize(text) // must not panic on any extraction output
+	})
+}

@@ -1,0 +1,337 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/factdb"
+	"repro/internal/ledger"
+	"repro/internal/platform"
+	"repro/internal/supplychain"
+	"repro/internal/telemetry"
+)
+
+// itemIDFor derives the deterministic chain id of an ingested article
+// from its normalized content key. Two fetches of the same story — from
+// two sources, two workers, or the same item redelivered after a crash
+// — collide on this id, and the supply-chain contract's duplicate-id
+// rejection turns the second publish into a dedup ack. This is what
+// makes ingest publishes effectively exactly-once without distributed
+// coordination.
+func itemIDFor(text string) string {
+	return "ing-" + factdb.ContentKey(text)[:24]
+}
+
+// ItemIDFor exposes the deterministic id derivation so callers (tests,
+// experiments, crawl tooling) can locate an ingested article on chain.
+// text must be the extracted body — pass raw fetches through Extract
+// first.
+func ItemIDFor(text string) string { return itemIDFor(text) }
+
+// PipelineConfig tunes the ingest pipeline.
+type PipelineConfig struct {
+	// Workers is the number of concurrent pipeline workers. Default 4.
+	Workers int
+	// MaxBodyBytes caps extracted bodies. Default DefaultMaxBodyBytes.
+	MaxBodyBytes int
+	// PollInterval paces idle workers and the receipt ack loop.
+	// Default 2ms.
+	PollInterval time.Duration
+	// AckTimeout nacks a submitted publish whose receipt never lands
+	// (e.g. the tx was shed from the mempool). Default 10s.
+	AckTimeout time.Duration
+}
+
+func (c *PipelineConfig) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Millisecond
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 10 * time.Second
+	}
+}
+
+// PipelineStats is the pipeline's observable state.
+type PipelineStats struct {
+	Queue QueueStats `json:"queue"`
+	// Published counts articles whose publish committed OK.
+	Published uint64 `json:"published"`
+	// Deduped counts articles acked because their content was already on
+	// chain (duplicate fetch, or a redelivery after a crash).
+	Deduped uint64 `json:"deduped"`
+	// Truncated counts bodies cut at MaxBodyBytes during extraction.
+	Truncated uint64 `json:"truncated"`
+	// Failed counts attempts that nacked (publish error or failed
+	// receipt).
+	Failed uint64 `json:"failed"`
+	// AwaitingCommit is the number of submitted publishes whose receipt
+	// has not landed yet.
+	AwaitingCommit int `json:"awaitingCommit"`
+}
+
+// pendingTx is one submitted publish awaiting its commit receipt.
+type pendingTx struct {
+	seq      uint64
+	itemID   string
+	deadline time.Time
+}
+
+// Pipeline drains the ingest queue with concurrent workers: each item
+// is extracted (size-capped), its body chunked into the blob store, and
+// a reference publish submitted to the mempool under a deterministic
+// content-derived id. The worker does NOT wait for the commit — an ack
+// loop polls the receipt store and settles queue items as their
+// publishes commit, so ingest throughput is decoupled from block
+// cadence and the commit path never blocks on ingest work.
+type Pipeline struct {
+	p     *platform.Platform
+	q     *Queue
+	cfg   PipelineConfig
+	actor *platform.Actor
+
+	mu        sync.Mutex
+	pending   map[ledger.TxID]pendingTx
+	published uint64
+	deduped   uint64
+	truncated uint64
+	failed    uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	tmPublished  *telemetry.Counter
+	tmDeduped    *telemetry.Counter
+	tmTruncated  *telemetry.Counter
+	tmFailed     *telemetry.Counter
+	tmPublishSec *telemetry.Histogram
+}
+
+// NewPipeline builds a pipeline draining q into p. Call Start to run
+// the workers.
+func NewPipeline(p *platform.Platform, q *Queue, cfg PipelineConfig) *Pipeline {
+	cfg.fill()
+	return &Pipeline{
+		p:       p,
+		q:       q,
+		cfg:     cfg,
+		actor:   p.NewActor("ingest-pipeline"),
+		pending: make(map[ledger.TxID]pendingTx),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Queue exposes the pipeline's work queue (producers enqueue here).
+func (pl *Pipeline) Queue() *Queue { return pl.q }
+
+// Instrument registers the trustnews_ingest_* pipeline instruments on
+// reg (nil disables) and forwards to the queue's.
+func (pl *Pipeline) Instrument(reg *telemetry.Registry) {
+	pl.q.Instrument(reg)
+	pl.tmPublished = reg.Counter("trustnews_ingest_published_total", "Ingested articles whose publish committed.")
+	pl.tmDeduped = reg.Counter("trustnews_ingest_deduped_total", "Ingested articles already on chain (content-key dedup).")
+	pl.tmTruncated = reg.Counter("trustnews_ingest_truncated_total", "Ingested bodies cut at the extraction size cap.")
+	pl.tmFailed = reg.Counter("trustnews_ingest_failed_total", "Ingest attempts that failed and will retry.")
+	pl.tmPublishSec = reg.Histogram("trustnews_ingest_publish_seconds", "Extract + blob put + submit time per article.", nil)
+}
+
+// Start launches the workers and the receipt ack loop.
+func (pl *Pipeline) Start() {
+	for i := 0; i < pl.cfg.Workers; i++ {
+		pl.wg.Add(1)
+		go pl.worker()
+	}
+	pl.wg.Add(1)
+	go pl.ackLoop()
+}
+
+// Stop halts workers and the ack loop and waits for them. In-flight
+// leases simply expire; their items redeliver on the next Start or
+// after a restart's WAL replay.
+func (pl *Pipeline) Stop() {
+	pl.once.Do(func() { close(pl.stop) })
+	pl.wg.Wait()
+}
+
+// Enqueue adds one article to the pipeline's durable queue.
+func (pl *Pipeline) Enqueue(a Article) (uint64, error) {
+	return pl.q.Enqueue(a)
+}
+
+// Stats reports pipeline + queue accounting.
+func (pl *Pipeline) Stats() PipelineStats {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return PipelineStats{
+		Queue:          pl.q.Stats(),
+		Published:      pl.published,
+		Deduped:        pl.deduped,
+		Truncated:      pl.truncated,
+		Failed:         pl.failed,
+		AwaitingCommit: len(pl.pending),
+	}
+}
+
+// worker leases items and runs them through extract → blob → submit.
+func (pl *Pipeline) worker() {
+	defer pl.wg.Done()
+	for {
+		select {
+		case <-pl.stop:
+			return
+		default:
+		}
+		seq, art, ok := pl.q.Lease()
+		if !ok {
+			select {
+			case <-pl.stop:
+				return
+			case <-time.After(pl.cfg.PollInterval):
+			}
+			continue
+		}
+		pl.process(seq, art)
+	}
+}
+
+// process runs one leased item to the submitted state (or settles it).
+func (pl *Pipeline) process(seq uint64, art Article) {
+	var start time.Time
+	if pl.tmPublishSec != nil {
+		start = time.Now()
+	}
+	text, truncated := Extract(art.Text, pl.cfg.MaxBodyBytes)
+	if truncated {
+		pl.mu.Lock()
+		pl.truncated++
+		pl.mu.Unlock()
+		pl.tmTruncated.Inc()
+	}
+	if text == "" {
+		// Nothing extractable: not retryable, straight to settled. An
+		// empty body would be rejected by the contract every attempt.
+		_ = pl.q.Nack(seq, "empty body after extraction")
+		pl.countFail()
+		return
+	}
+	id := itemIDFor(text)
+	if _, err := supplychain.GetItem(pl.p.Engine(), pl.p.Authority(), id); err == nil {
+		// Already on chain: duplicate fetch or crash redelivery.
+		_ = pl.q.Ack(seq)
+		pl.mu.Lock()
+		pl.deduped++
+		pl.mu.Unlock()
+		pl.tmDeduped.Inc()
+		return
+	}
+	txID, err := pl.submitPublish(id, art, text)
+	if err != nil {
+		_ = pl.q.Nack(seq, fmt.Sprintf("submit: %v", err))
+		pl.countFail()
+		return
+	}
+	pl.mu.Lock()
+	pl.pending[txID] = pendingTx{seq: seq, itemID: id, deadline: time.Now().Add(pl.cfg.AckTimeout)}
+	pl.mu.Unlock()
+	if pl.tmPublishSec != nil {
+		pl.tmPublishSec.Observe(time.Since(start).Seconds())
+	}
+}
+
+// submitPublish chunks the body off-chain and submits (not commits) a
+// reference publish.
+func (pl *Pipeline) submitPublish(id string, art Article, text string) (ledger.TxID, error) {
+	cid, err := pl.p.Blobs().PutString(text)
+	if err != nil {
+		return ledger.TxID{}, fmt.Errorf("store body: %w", err)
+	}
+	payload, err := supplychain.PublishRefPayload(id, art.Topic, string(cid), len(text), nil, "")
+	if err != nil {
+		return ledger.TxID{}, err
+	}
+	tx, err := pl.actor.Send("news.publish", payload)
+	if err != nil {
+		return ledger.TxID{}, err
+	}
+	return tx.ID(), nil
+}
+
+// ackLoop settles submitted publishes as their receipts land: an OK
+// receipt acks the queue item; a failed receipt acks it anyway when the
+// item exists on chain (a racing worker or a pre-crash publish won) and
+// nacks it otherwise. Pending publishes whose receipt never lands nack
+// at their deadline (the tx was lost, e.g. shed from the mempool).
+func (pl *Pipeline) ackLoop() {
+	defer pl.wg.Done()
+	t := time.NewTicker(pl.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-pl.stop:
+			return
+		case <-t.C:
+		}
+		pl.mu.Lock()
+		ids := make([]ledger.TxID, 0, len(pl.pending))
+		for id := range pl.pending {
+			ids = append(ids, id)
+		}
+		pl.mu.Unlock()
+		now := time.Now()
+		for _, txID := range ids {
+			rec, have := pl.p.Receipt(txID)
+			pl.mu.Lock()
+			pt, ok := pl.pending[txID]
+			if !ok {
+				pl.mu.Unlock()
+				continue
+			}
+			if !have {
+				if now.After(pt.deadline) {
+					delete(pl.pending, txID)
+					pl.mu.Unlock()
+					_ = pl.q.Nack(pt.seq, "publish receipt timed out")
+					pl.countFail()
+					continue
+				}
+				pl.mu.Unlock()
+				continue
+			}
+			delete(pl.pending, txID)
+			pl.mu.Unlock()
+			switch {
+			case rec.OK:
+				_ = pl.q.Ack(pt.seq)
+				pl.mu.Lock()
+				pl.published++
+				pl.mu.Unlock()
+				pl.tmPublished.Inc()
+			default:
+				if _, err := supplychain.GetItem(pl.p.Engine(), pl.p.Authority(), pt.itemID); err == nil {
+					_ = pl.q.Ack(pt.seq)
+					pl.mu.Lock()
+					pl.deduped++
+					pl.mu.Unlock()
+					pl.tmDeduped.Inc()
+				} else {
+					_ = pl.q.Nack(pt.seq, fmt.Sprintf("publish failed: %s", rec.Err))
+					pl.countFail()
+				}
+			}
+		}
+	}
+}
+
+func (pl *Pipeline) countFail() {
+	pl.mu.Lock()
+	pl.failed++
+	pl.mu.Unlock()
+	pl.tmFailed.Inc()
+}

@@ -1,0 +1,345 @@
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// QueueConfig tunes the durable work queue.
+type QueueConfig struct {
+	// Capacity bounds live items (pending + leased); Enqueue beyond it
+	// fails fast with ErrQueueFull so producers shed instead of growing
+	// the WAL without bound. Default 4096.
+	Capacity int
+	// MaxAttempts dead-letters an item after this many leases. Default 5.
+	MaxAttempts int
+	// LeaseTTL redelivers an item whose worker went silent. Default 30s.
+	LeaseTTL time.Duration
+	// RetryBackoff is the base delay after a Nack; it doubles per
+	// attempt. Default 250ms.
+	RetryBackoff time.Duration
+	// Now overrides the clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+func (c *QueueConfig) fill() {
+	if c.Capacity <= 0 {
+		c.Capacity = 4096
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// queueItem is one live article plus its delivery state.
+type queueItem struct {
+	seq         uint64
+	art         Article
+	attempts    int
+	notBefore   time.Time // backoff gate; zero = leasable now
+	leasedUntil time.Time // zero = not leased
+}
+
+// DeadItem is a poison article parked after exhausting its attempts.
+type DeadItem struct {
+	Seq      uint64  `json:"seq"`
+	Article  Article `json:"article"`
+	Attempts int     `json:"attempts"`
+	Reason   string  `json:"reason"`
+}
+
+// QueueStats is the queue's observable state.
+type QueueStats struct {
+	// Depth is the number of live items (pending + leased).
+	Depth int `json:"depth"`
+	// Inflight is the number of currently leased, unexpired items.
+	Inflight int `json:"inflight"`
+	// Dead is the number of dead-lettered items.
+	Dead int `json:"dead"`
+	// Enqueued, Acked, Retries, Redelivered count since open (replayed
+	// live items count as enqueued).
+	Enqueued    uint64 `json:"enqueued"`
+	Acked       uint64 `json:"acked"`
+	Retries     uint64 `json:"retries"`
+	Redelivered uint64 `json:"redelivered"`
+}
+
+// Queue is the durable, bounded ingest work queue. Every accepted
+// article is WAL-logged before Enqueue returns; acks and dead-letter
+// decisions are logged too, so a crashed node replays the log and
+// resumes with exactly the unacknowledged work. Safe for concurrent
+// use.
+type Queue struct {
+	mu  sync.Mutex
+	cfg QueueConfig
+	wal store.Log
+
+	items   map[uint64]*queueItem
+	order   []uint64 // live seqs, ascending (lease scans from the front)
+	dead    []DeadItem
+	nextSeq uint64
+
+	enqueued, acked, retries, redelivered uint64
+	closed                                bool
+
+	tmDepth    *telemetry.Gauge
+	tmEnqueued *telemetry.Counter
+	tmAcked    *telemetry.Counter
+	tmRetries  *telemetry.Counter
+	tmDead     *telemetry.Counter
+}
+
+// NewQueue opens a queue over the given WAL, replaying it to recover
+// live items. Items that were leased at crash time have no surviving
+// lease, so they are immediately redeliverable; items acked or
+// dead-lettered before the crash stay settled. A nil log gets an
+// in-memory one (tests, ephemeral nodes).
+func NewQueue(wal store.Log, cfg QueueConfig) (*Queue, error) {
+	cfg.fill()
+	if wal == nil {
+		wal = store.NewMemLog()
+	}
+	q := &Queue{cfg: cfg, wal: wal, items: make(map[uint64]*queueItem)}
+	n := wal.Len()
+	for i := uint64(0); i < n; i++ {
+		rec, err := wal.Get(i)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: replay record %d: %w", i, err)
+		}
+		op, seq, art, err := decodeRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: replay record %d: %w", i, err)
+		}
+		if seq >= q.nextSeq {
+			q.nextSeq = seq + 1
+		}
+		switch op {
+		case opEnqueue:
+			q.items[seq] = &queueItem{seq: seq, art: art}
+		case opAck:
+			delete(q.items, seq)
+		case opDead:
+			if it, ok := q.items[seq]; ok {
+				q.dead = append(q.dead, DeadItem{Seq: seq, Article: it.art, Attempts: it.attempts, Reason: "replayed dead-letter"})
+				delete(q.items, seq)
+			}
+		}
+	}
+	q.order = make([]uint64, 0, len(q.items))
+	for seq := range q.items {
+		q.order = append(q.order, seq)
+	}
+	sort.Slice(q.order, func(i, j int) bool { return q.order[i] < q.order[j] })
+	q.enqueued = uint64(len(q.items))
+	return q, nil
+}
+
+// Instrument registers the trustnews_ingest_* queue instruments on reg
+// (nil disables).
+func (q *Queue) Instrument(reg *telemetry.Registry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.tmDepth = reg.Gauge("trustnews_ingest_queue_depth", "Live ingest queue items (pending + leased).")
+	q.tmEnqueued = reg.Counter("trustnews_ingest_enqueued_total", "Articles accepted into the ingest queue.")
+	q.tmAcked = reg.Counter("trustnews_ingest_acked_total", "Ingest queue items acknowledged (published or deduplicated).")
+	q.tmRetries = reg.Counter("trustnews_ingest_retries_total", "Ingest queue negative acknowledgements (item will retry).")
+	q.tmDead = reg.Counter("trustnews_ingest_dead_total", "Ingest queue items dead-lettered after exhausting attempts.")
+	q.tmDepth.Set(float64(len(q.order)))
+}
+
+// Enqueue accepts one article: it is durable (WAL-appended) before the
+// call returns. Fails fast with ErrQueueFull at capacity.
+func (q *Queue) Enqueue(a Article) (uint64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, ErrClosed
+	}
+	if len(q.order) >= q.cfg.Capacity {
+		return 0, ErrQueueFull
+	}
+	seq := q.nextSeq
+	if _, err := q.wal.Append(encodeRecord(opEnqueue, seq, &a)); err != nil {
+		return 0, fmt.Errorf("ingest: wal enqueue: %w", err)
+	}
+	q.nextSeq++
+	q.items[seq] = &queueItem{seq: seq, art: a}
+	q.order = append(q.order, seq)
+	q.enqueued++
+	q.tmEnqueued.Inc()
+	q.tmDepth.Set(float64(len(q.order)))
+	return seq, nil
+}
+
+// Lease hands the oldest deliverable item to a worker for up to
+// LeaseTTL. Items still backing off or already leased are skipped; an
+// item whose lease expired is redelivered (counted in Redelivered). An
+// item presented for its (MaxAttempts+1)-th delivery is dead-lettered
+// instead. Returns ok=false when nothing is deliverable right now.
+func (q *Queue) Lease() (seq uint64, a Article, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.cfg.Now()
+	for i := 0; i < len(q.order); i++ {
+		it := q.items[q.order[i]]
+		if !it.leasedUntil.IsZero() && now.Before(it.leasedUntil) {
+			continue // held by a live worker
+		}
+		if now.Before(it.notBefore) {
+			continue // backing off
+		}
+		if it.attempts >= q.cfg.MaxAttempts {
+			q.deadLetterLocked(it, i, "max attempts exhausted")
+			i-- // order shrank at i
+			continue
+		}
+		if !it.leasedUntil.IsZero() {
+			q.redelivered++
+		}
+		it.attempts++
+		it.leasedUntil = now.Add(q.cfg.LeaseTTL)
+		return it.seq, it.art, true
+	}
+	return 0, Article{}, false
+}
+
+// Ack settles an item for good: the decision is WAL-logged, so a
+// replay never redelivers it. Acking an unknown (already settled) seq
+// is a no-op, which makes duplicate acks from racing workers safe.
+func (q *Queue) Ack(seq uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if _, ok := q.items[seq]; !ok {
+		return nil
+	}
+	if _, err := q.wal.Append(encodeRecord(opAck, seq, nil)); err != nil {
+		return fmt.Errorf("ingest: wal ack: %w", err)
+	}
+	q.removeLocked(seq)
+	q.acked++
+	q.tmAcked.Inc()
+	q.tmDepth.Set(float64(len(q.order)))
+	return nil
+}
+
+// Nack reports a failed attempt: the item backs off exponentially in
+// its attempt count and, once MaxAttempts is exhausted, dead-letters.
+func (q *Queue) Nack(seq uint64, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	it, ok := q.items[seq]
+	if !ok {
+		return nil
+	}
+	it.leasedUntil = time.Time{}
+	if it.attempts >= q.cfg.MaxAttempts {
+		for i, s := range q.order {
+			if s == seq {
+				q.deadLetterLocked(it, i, reason)
+				break
+			}
+		}
+		return nil
+	}
+	shift := it.attempts - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 16 {
+		shift = 16
+	}
+	it.notBefore = q.cfg.Now().Add(q.cfg.RetryBackoff << shift)
+	q.retries++
+	q.tmRetries.Inc()
+	return nil
+}
+
+// deadLetterLocked parks a poison item; order index i points at it.
+func (q *Queue) deadLetterLocked(it *queueItem, i int, reason string) {
+	// Best effort: a WAL write failure leaves the item live, which only
+	// means it is re-examined (and re-dead-lettered) after a restart.
+	_, _ = q.wal.Append(encodeRecord(opDead, it.seq, nil))
+	q.dead = append(q.dead, DeadItem{Seq: it.seq, Article: it.art, Attempts: it.attempts, Reason: reason})
+	delete(q.items, it.seq)
+	q.order = append(q.order[:i], q.order[i+1:]...)
+	q.tmDead.Inc()
+	q.tmDepth.Set(float64(len(q.order)))
+}
+
+// removeLocked drops a settled seq from the live set.
+func (q *Queue) removeLocked(seq uint64) {
+	delete(q.items, seq)
+	for i, s := range q.order {
+		if s == seq {
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Dead returns the dead-lettered items, oldest first.
+func (q *Queue) Dead() []DeadItem {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]DeadItem(nil), q.dead...)
+}
+
+// Depth returns the number of live items.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.order)
+}
+
+// Stats reports queue accounting.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.cfg.Now()
+	inflight := 0
+	for _, seq := range q.order {
+		if it := q.items[seq]; !it.leasedUntil.IsZero() && now.Before(it.leasedUntil) {
+			inflight++
+		}
+	}
+	return QueueStats{
+		Depth:       len(q.order),
+		Inflight:    inflight,
+		Dead:        len(q.dead),
+		Enqueued:    q.enqueued,
+		Acked:       q.acked,
+		Retries:     q.retries,
+		Redelivered: q.redelivered,
+	}
+}
+
+// Close flushes and closes the WAL. Further mutations fail ErrClosed.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	return q.wal.Close()
+}

@@ -1,0 +1,270 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// fakeClock is a manually advanced clock for deterministic lease tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestQueue(t *testing.T, wal store.Log, cfg QueueConfig) (*Queue, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1562500000, 0)}
+	cfg.Now = clk.now
+	q, err := NewQueue(wal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, clk
+}
+
+func TestQueueEnqueueLeaseAck(t *testing.T) {
+	q, _ := newTestQueue(t, nil, QueueConfig{})
+	seqA, err := q.Enqueue(Article{Source: "wire", Topic: "econ", Text: "first"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue(Article{Source: "wire", Topic: "econ", Text: "second"}); err != nil {
+		t.Fatal(err)
+	}
+	seq, a, ok := q.Lease()
+	if !ok || seq != seqA || a.Text != "first" {
+		t.Fatalf("lease = (%d, %+v, %v), want oldest first", seq, a, ok)
+	}
+	if err := q.Ack(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Ack(seq); err != nil {
+		t.Fatalf("duplicate ack not a no-op: %v", err)
+	}
+	st := q.Stats()
+	if st.Depth != 1 || st.Acked != 1 || st.Enqueued != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueCapacityShedsFast(t *testing.T) {
+	q, _ := newTestQueue(t, nil, QueueConfig{Capacity: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := q.Enqueue(Article{Text: fmt.Sprintf("a%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Enqueue(Article{Text: "overflow"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// Settling one item frees capacity.
+	seq, _, _ := q.Lease()
+	if err := q.Ack(seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue(Article{Text: "fits now"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueNackBacksOffThenRedelivers(t *testing.T) {
+	q, clk := newTestQueue(t, nil, QueueConfig{RetryBackoff: time.Second})
+	if _, err := q.Enqueue(Article{Text: "flaky"}); err != nil {
+		t.Fatal(err)
+	}
+	seq, _, ok := q.Lease()
+	if !ok {
+		t.Fatal("no lease")
+	}
+	if err := q.Nack(seq, "transient"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := q.Lease(); ok {
+		t.Fatal("leased during backoff window")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if _, _, ok := q.Lease(); !ok {
+		t.Fatal("not redelivered after backoff")
+	}
+	// Second nack backs off twice as long.
+	if err := q.Nack(seq, "transient again"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if _, _, ok := q.Lease(); ok {
+		t.Fatal("exponential backoff not applied")
+	}
+	clk.advance(time.Second)
+	if _, _, ok := q.Lease(); !ok {
+		t.Fatal("not redelivered after doubled backoff")
+	}
+	if st := q.Stats(); st.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", st.Retries)
+	}
+}
+
+func TestQueueLeaseTTLRedelivery(t *testing.T) {
+	q, clk := newTestQueue(t, nil, QueueConfig{LeaseTTL: time.Minute})
+	if _, err := q.Enqueue(Article{Text: "slow worker"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := q.Lease(); !ok {
+		t.Fatal("no lease")
+	}
+	if _, _, ok := q.Lease(); ok {
+		t.Fatal("double-leased a held item")
+	}
+	clk.advance(61 * time.Second)
+	if _, _, ok := q.Lease(); !ok {
+		t.Fatal("expired lease not redelivered")
+	}
+	if st := q.Stats(); st.Redelivered != 1 {
+		t.Fatalf("redelivered = %d, want 1", st.Redelivered)
+	}
+}
+
+func TestQueuePoisonItemDeadLetters(t *testing.T) {
+	q, clk := newTestQueue(t, nil, QueueConfig{MaxAttempts: 3, RetryBackoff: time.Millisecond})
+	if _, err := q.Enqueue(Article{Source: "mill", Text: "poison"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue(Article{Source: "wire", Text: "healthy"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		seq, a, ok := q.Lease()
+		if !ok || a.Text != "poison" {
+			t.Fatalf("attempt %d: lease = (%v, %+v)", i, ok, a)
+		}
+		if err := q.Nack(seq, "boom"); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(time.Second)
+	}
+	// The poison item is out of attempts: only the healthy one leases.
+	seq, a, ok := q.Lease()
+	if !ok || a.Text != "healthy" {
+		t.Fatalf("after dead-letter: lease = (%v, %+v)", ok, a)
+	}
+	_ = seq
+	dead := q.Dead()
+	if len(dead) != 1 || dead[0].Article.Text != "poison" || dead[0].Attempts != 3 {
+		t.Fatalf("dead = %+v", dead)
+	}
+	if st := q.Stats(); st.Dead != 1 || st.Depth != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestQueueWALRecovery is the crash-consistency contract: after a
+// "crash" (reopening the WAL file), acked items stay settled, dead
+// items stay dead, and everything else — including items leased at
+// crash time — redelivers exactly once each.
+func TestQueueWALRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	wal, err := store.OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, clk := newTestQueue(t, wal, QueueConfig{MaxAttempts: 2, RetryBackoff: time.Millisecond})
+	for _, txt := range []string{"acked", "leased-at-crash", "poison", "never-leased"} {
+		if _, err := q.Enqueue(Article{Source: "wire", Topic: "econ", Text: txt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Settle one, hold a lease over the crash, exhaust the poison item,
+	// leave one untouched.
+	s, a, ok := q.Lease()
+	if !ok || a.Text != "acked" {
+		t.Fatalf("lease = %+v", a)
+	}
+	if err := q.Ack(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, a, ok = q.Lease(); !ok || a.Text != "leased-at-crash" {
+		t.Fatalf("lease = %+v", a)
+	}
+	for i := 0; i < 2; i++ {
+		s, a, ok = q.Lease() // leased-at-crash is held, so poison is oldest
+		if !ok || a.Text != "poison" {
+			t.Fatalf("attempt %d: lease = (%v, %+v)", i, ok, a)
+		}
+		if err := q.Nack(s, "poison"); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(time.Second)
+	}
+	if d := q.Dead(); len(d) != 1 || d[0].Article.Text != "poison" {
+		t.Fatalf("dead = %+v", d)
+	}
+	if err := wal.Close(); err != nil { // crash: no graceful queue Close
+		t.Fatal(err)
+	}
+
+	wal2, err := store.OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	q2, clk2 := newTestQueue(t, wal2, QueueConfig{MaxAttempts: 2})
+	clk2.t = clk.t
+	var recovered []string
+	for {
+		s, a, ok := q2.Lease()
+		if !ok {
+			break
+		}
+		recovered = append(recovered, a.Text)
+		if err := q2.Ack(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := map[string]bool{"leased-at-crash": true, "never-leased": true}
+	if len(recovered) != len(want) {
+		t.Fatalf("recovered %v, want exactly %v", recovered, want)
+	}
+	for _, txt := range recovered {
+		if !want[txt] {
+			t.Fatalf("recovered %q: acked or dead item came back", txt)
+		}
+	}
+}
+
+func TestQueueRejectsCorruptWAL(t *testing.T) {
+	wal := store.NewMemLog()
+	if _, err := wal.Append([]byte{recVersion, opEnqueue, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewQueue(wal, QueueConfig{}); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("err = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	got, trunc := Extract("  <p>Senate&nbsp;passes   the&amp;budget</p>\n<script>junk()</script> bill ", 0)
+	if trunc {
+		t.Fatal("unexpected truncation")
+	}
+	if got != "Senate passes the&budget junk() bill" {
+		t.Fatalf("extract = %q", got)
+	}
+	long, trunc := Extract("wéwéwéwéwé", 5)
+	if !trunc {
+		t.Fatal("expected truncation")
+	}
+	if long != "wéwé" && long != "wéw" {
+		// 5 bytes cuts inside the second é (2-byte rune): must back up to
+		// a rune boundary, never emit invalid UTF-8.
+		t.Fatalf("truncated = %q", long)
+	}
+	for _, r := range long {
+		if r == 0xFFFD {
+			t.Fatalf("invalid UTF-8 after truncation: %q", long)
+		}
+	}
+}

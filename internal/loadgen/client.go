@@ -123,9 +123,70 @@ func (c *Client) ReadBlob(cid string) (Outcome, error) {
 	return c.get("/v1/blobs/" + cid)
 }
 
-// Search runs a keyword query against the committed article index.
-func (c *Client) Search(query string, k int) (Outcome, error) {
-	return c.get("/v1/search?q=" + url.QueryEscape(query) + fmt.Sprintf("&k=%d", k))
+// searchPage mirrors the shape httpapi returns for GET /v1/search (a
+// search.Page). The generator decodes it — rather than draining blind —
+// so a response-shape regression surfaces as a loadgen failure.
+type searchPage struct {
+	Total   int `json:"total"`
+	Offset  int `json:"offset"`
+	Results []struct {
+		ID    string  `json:"id"`
+		Score float64 `json:"score"`
+	} `json:"results"`
+}
+
+// Search runs a ranked keyword query against the committed article
+// index and returns the hit count. ranker selects the scoring function
+// ("" lets the node default to BM25).
+func (c *Client) Search(query string, limit int, ranker string) (int, Outcome, error) {
+	path := "/v1/search?q=" + url.QueryEscape(query) + fmt.Sprintf("&limit=%d", limit)
+	if ranker != "" {
+		path += "&ranker=" + url.QueryEscape(ranker)
+	}
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return 0, OutcomeFailed, err
+	}
+	defer drain(resp)
+	out := statusOutcome(resp.StatusCode)
+	if out != OutcomeOK {
+		if out == OutcomeShed {
+			return 0, out, nil
+		}
+		return 0, out, fmt.Errorf("GET /v1/search: status %d", resp.StatusCode)
+	}
+	var page searchPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return 0, OutcomeFailed, fmt.Errorf("GET /v1/search: decode: %w", err)
+	}
+	return page.Total, OutcomeOK, nil
+}
+
+// ingestRequest mirrors httpapi's POST /v1/ingest body.
+type ingestRequest struct {
+	Source string `json:"source"`
+	Topic  string `json:"topic"`
+	Text   string `json:"text"`
+}
+
+// Ingest enqueues one article into the node's ingestion pipeline. A 202
+// means durably queued (publication is asynchronous); 429 means the
+// ingest gate or the queue itself shed the article.
+func (c *Client) Ingest(source, topic, text string) (Outcome, error) {
+	body, err := json.Marshal(ingestRequest{Source: source, Topic: topic, Text: text})
+	if err != nil {
+		return OutcomeFailed, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return OutcomeFailed, err
+	}
+	defer drain(resp)
+	out := statusOutcome(resp.StatusCode)
+	if out == OutcomeFailed {
+		return out, fmt.Errorf("POST /v1/ingest: status %d", resp.StatusCode)
+	}
+	return out, nil
 }
 
 // get issues a GET, drains the body, and classifies the status.
@@ -166,12 +227,16 @@ func (c *Client) NextNonce(addr string) (uint64, error) {
 	return ar.Nonce, nil
 }
 
-// Healthz mirrors httpapi's readiness report.
+// Healthz mirrors httpapi's readiness report. The ingest fields are
+// pointers because a node without an attached pipeline omits them.
 type Healthz struct {
-	Ready        bool   `json:"ready"`
-	Height       uint64 `json:"height"`
-	MempoolDepth int    `json:"mempoolDepth"`
-	Consensus    string `json:"consensus"`
+	Ready          bool   `json:"ready"`
+	Height         uint64 `json:"height"`
+	MempoolDepth   int    `json:"mempoolDepth"`
+	Consensus      string `json:"consensus"`
+	IndexerLagDocs int    `json:"indexerLagDocs"`
+	IngestQueue    *int   `json:"ingestQueueDepth,omitempty"`
+	IngestDead     *int   `json:"ingestDead,omitempty"`
 }
 
 // Healthz fetches the node's readiness report.

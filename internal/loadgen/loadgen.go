@@ -38,6 +38,7 @@ const (
 	OpVote     = "vote"
 	OpSearch   = "search"
 	OpBlobRead = "blob_read"
+	OpIngest   = "ingest"
 )
 
 // Mix is the relative weight of each operation in the synthesized
@@ -48,6 +49,10 @@ type Mix struct {
 	Vote     float64 `json:"vote"`
 	Search   float64 `json:"search"`
 	BlobRead float64 `json:"blob_read"`
+	// Ingest posts raw articles to the async ingestion queue. Zero in
+	// the default mix: it only makes sense against a node with an
+	// attached pipeline (experiments opt in explicitly).
+	Ingest float64 `json:"ingest"`
 }
 
 // DefaultMix skews toward reads the way a news feed does: most traffic
@@ -57,7 +62,7 @@ func DefaultMix() Mix {
 }
 
 func (m Mix) total() float64 {
-	return m.Publish + m.Relay + m.Vote + m.Search + m.BlobRead
+	return m.Publish + m.Relay + m.Vote + m.Search + m.BlobRead + m.Ingest
 }
 
 // Config parameterizes one run.
@@ -398,8 +403,10 @@ func (e *Engine) nextArrival() (arrival, bool) {
 		return arrival{op: OpVote, u: u, art: e.pickArticle(e.azipf.Uint64()), vote: e.rng.Intn(2) == 0}, true
 	case w < m.Publish+m.Relay+m.Vote+m.Search:
 		return arrival{op: OpSearch, q: e.queries[e.rng.Intn(len(e.queries))]}, true
-	default:
+	case w < m.Publish+m.Relay+m.Vote+m.Search+m.BlobRead:
 		return arrival{op: OpBlobRead, art: e.pickArticle(e.azipf.Uint64())}, true
+	default:
+		return arrival{op: OpIngest, st: e.gen.Factual()}, true
 	}
 }
 
@@ -462,10 +469,13 @@ func (e *Engine) execute(a arrival, rec *recorder) {
 		out, err := e.submitSigned(a.u, "rank.vote", payload)
 		rec.record(a.op, out, time.Since(t0), err)
 	case OpSearch:
-		out, err := e.client.Search(a.q, 10)
+		_, out, err := e.client.Search(a.q, 10, "")
 		rec.record(a.op, out, time.Since(t0), err)
 	case OpBlobRead:
 		out, err := e.client.ReadBlob(a.art.cid)
+		rec.record(a.op, out, time.Since(t0), err)
+	case OpIngest:
+		out, err := e.client.Ingest("loadgen", string(a.st.Topic), a.st.Text)
 		rec.record(a.op, out, time.Since(t0), err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/httpapi"
+	"repro/internal/ingest"
 	"repro/internal/platform"
 	"repro/internal/telemetry"
 )
@@ -17,8 +18,11 @@ import (
 // blocks the way a standalone daemon does. Measurements against it
 // include the complete serving path minus only cross-host networking.
 type LocalNode struct {
-	P   *platform.Platform
-	URL string
+	P *platform.Platform
+	// Ingest is the node's async ingestion pipeline, started and
+	// serving POST /v1/ingest (in-memory queue WAL).
+	Ingest *ingest.Pipeline
+	URL    string
 
 	srv      *httptest.Server
 	stop     chan struct{}
@@ -45,7 +49,16 @@ func StartLocalNode(commitEvery time.Duration, mutate func(*platform.Config)) (*
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	n.srv = httptest.NewServer(httpapi.New(p, false))
+	q, err := ingest.NewQueue(nil, ingest.QueueConfig{})
+	if err != nil {
+		return nil, err
+	}
+	n.Ingest = ingest.NewPipeline(p, q, ingest.PipelineConfig{})
+	n.Ingest.Instrument(p.Telemetry())
+	n.Ingest.Start()
+	api := httpapi.New(p, false)
+	api.SetIngest(n.Ingest)
+	n.srv = httptest.NewServer(api)
 	n.URL = n.srv.URL
 	go n.commitLoop(commitEvery)
 	return n, nil
@@ -71,9 +84,12 @@ func (n *LocalNode) commitLoop(every time.Duration) {
 	}
 }
 
-// Close stops the commit loop and the HTTP listener.
+// Close stops the ingest pipeline, the commit loop, and the HTTP
+// listener, in that order (workers must stop submitting before the
+// committer goes away).
 func (n *LocalNode) Close() {
 	n.stopOnce.Do(func() {
+		n.Ingest.Stop()
 		close(n.stop)
 		<-n.done
 		n.srv.Close()

@@ -81,6 +81,7 @@ func TestOffChainPublishKeepsBodyOffChain(t *testing.T) {
 
 	// Full-text search finds the article.
 	terms := strings.Join(strings.Fields(body)[:3], " ")
+	p.FlushSearch()
 	res := p.Search(terms, 5)
 	if len(res) == 0 || res[0].ID != "art-1" {
 		t.Fatalf("Search(%q) = %v", terms, res)
@@ -105,6 +106,7 @@ func TestInlinePublishStillWorks(t *testing.T) {
 	if it.CID != "" || it.Text == "" {
 		t.Fatalf("inline item = %+v", it)
 	}
+	p.FlushSearch()
 	if res := p.Search("budget", 5); len(res) != 1 || res[0].ID != "n1" {
 		t.Fatalf("inline item not searchable: %v", res)
 	}
@@ -194,6 +196,7 @@ func TestFreshNodeFetchesVerifiesAndSearchesOverLossyLink(t *testing.T) {
 			t.Fatalf("item %s body mismatch after networked fetch", id)
 		}
 		terms := strings.Join(strings.Fields(body)[:4], " ")
+		fresh.FlushSearch()
 		res := fresh.Search(terms, 3)
 		found := false
 		for _, r := range res {
@@ -244,6 +247,7 @@ func TestDurableOffChainBodiesSurviveReopen(t *testing.T) {
 		t.Fatal("reopened node cannot hydrate the off-chain body")
 	}
 	terms := strings.Join(strings.Fields(body)[:3], " ")
+	re.FlushSearch()
 	res := re.Search(terms, 3)
 	if len(res) == 0 || res[0].ID != "durable-1" {
 		t.Fatalf("search after reopen = %v", res)

@@ -160,6 +160,9 @@ type Platform struct {
 	blobs *blobstore.Store
 	// searchIdx is the full-text index over committed article bodies.
 	searchIdx *search.Index
+	// searchSub is the async indexer keeping searchIdx in sync with the
+	// chain; queries may lag the head by its backlog (see FlushSearch).
+	searchSub *search.Subscriber
 
 	// bus is the event-sourced commit pipeline: every committed block is
 	// published once, and all derived indexes (fact index, supply-chain
@@ -265,6 +268,8 @@ func New(cfg Config) (*Platform, error) {
 		commitSec: cfg.Telemetry.Histogram("trustnews_platform_commit_seconds", "Wall time to execute, append and index one block.", nil),
 	}
 	p.graph = supplychain.NewGraph(p.factIndex)
+	p.searchSub = search.NewSubscriber(p.searchIdx, p.resolveBody)
+	p.searchSub.Instrument(cfg.Telemetry)
 	subs := []commitbus.Subscriber{
 		&contractState{engine: p.engine},
 		p.receipts,
@@ -273,7 +278,7 @@ func New(cfg Config) (*Platform, error) {
 		p.experts,
 		&penaltyForwarder{p: p},
 		blobstore.NewsRefSubscriber(p.blobs),
-		&search.Subscriber{Index: p.searchIdx, Resolve: p.resolveBody},
+		p.searchSub,
 	}
 	for _, s := range subs {
 		if err := p.bus.Register(s); err != nil {
@@ -325,8 +330,25 @@ func (p *Platform) Blobs() *blobstore.Store { return p.blobs }
 // SearchIndex exposes the full-text article index.
 func (p *Platform) SearchIndex() *search.Index { return p.searchIdx }
 
-// Search returns the top-k committed articles matching the query.
+// Search returns the top-k committed articles matching the query,
+// BM25-ranked. Indexing is asynchronous: results may lag the chain head
+// by the indexer backlog (SearchIndexerStats reports it; FlushSearch
+// waits it out).
 func (p *Platform) Search(q string, k int) []search.Result { return p.searchIdx.Query(q, k) }
+
+// SearchPage runs a ranked, paginated query (the /v1/search path).
+func (p *Platform) SearchPage(q string, ranker search.Ranker, offset, limit int) search.Page {
+	return p.searchIdx.QueryPage(q, ranker, offset, limit)
+}
+
+// FlushSearch blocks until the async indexer has applied every
+// committed document. Tests and read-your-writes callers use it;
+// serving paths should not (the whole point is that they never wait).
+func (p *Platform) FlushSearch() { p.searchSub.Flush() }
+
+// SearchIndexerStats reports the async indexer's backlog and error
+// accounting (the /v1/healthz indexer-lag field).
+func (p *Platform) SearchIndexerStats() search.IndexerStats { return p.searchSub.Stats() }
 
 // resolveBody fetches an off-chain article body by content id. It backs
 // the graph and search subscribers' hydration and every read path that

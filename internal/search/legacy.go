@@ -1,0 +1,97 @@
+package search
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/corpus"
+)
+
+// LockedIndex is the pre-sharding implementation: one RWMutex over one
+// postings map, TF-IDF scoring, and — crucially — the read lock held
+// while scoring every candidate document. It is kept only as the
+// baseline for EXPERIMENTS.md E22, which measures what the sharded
+// snapshot design buys: query latency under concurrent indexing, and
+// the corpus sizes one map cannot hold. New code should use Index.
+type LockedIndex struct {
+	mu       sync.RWMutex
+	postings map[string]map[string]int // term -> doc id -> term frequency
+	docs     map[string]lockedDocInfo
+}
+
+type lockedDocInfo struct {
+	topic  string
+	length int
+}
+
+// NewLocked creates an empty single-lock TF-IDF index.
+func NewLocked() *LockedIndex {
+	return &LockedIndex{
+		postings: make(map[string]map[string]int),
+		docs:     make(map[string]lockedDocInfo),
+	}
+}
+
+// Add indexes one document under the write lock.
+func (x *LockedIndex) Add(id, topic, text string) {
+	if id == "" {
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, dup := x.docs[id]; dup {
+		return
+	}
+	toks := corpus.Tokenize(text)
+	x.docs[id] = lockedDocInfo{topic: topic, length: len(toks)}
+	for _, tok := range toks {
+		post := x.postings[tok]
+		if post == nil {
+			post = make(map[string]int)
+			x.postings[tok] = post
+		}
+		post[id]++
+	}
+}
+
+// Docs returns the number of indexed documents.
+func (x *LockedIndex) Docs() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.docs)
+}
+
+// Query returns the top-k documents by TF-IDF, holding the read lock
+// for the entire scoring pass — the contention the sharded index
+// removes.
+func (x *LockedIndex) Query(q string, k int) []Result {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	n := float64(len(x.docs))
+	scores := make(map[string]float64)
+	for _, tok := range corpus.Tokenize(q) {
+		post := x.postings[tok]
+		if len(post) == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(post)))
+		for id, tf := range post {
+			scores[id] += float64(tf) / float64(x.docs[id].length) * idf
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for id, sc := range scores {
+		out = append(out, Result{ID: id, Topic: x.docs[id].topic, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

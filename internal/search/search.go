@@ -1,21 +1,76 @@
-// Package search provides the platform's full-text article index: an
-// in-memory inverted index over committed news bodies with TF-IDF
-// ranking. The paper's platform lets readers look up news and its
-// trust evidence; with article bodies moved off-chain (see
-// internal/blobstore) the chain itself is no longer scannable for text,
-// so this index — fed from the commit bus like every other derived
-// view — is what makes committed articles findable again.
+// Package search provides the platform's full-text article index. The
+// paper's platform lets readers look up news and its trust evidence;
+// with article bodies moved off-chain (see internal/blobstore) the chain
+// itself is no longer scannable for text, so this index — fed from the
+// commit bus like every other derived view — is what makes committed
+// articles findable again.
 //
-// The index is deterministic: ties in score break by document id, so
+// The index is built for the "continuous firehose of news" the paper
+// assumes (§VI): it must absorb a sustained stream of newly committed
+// articles while serving reader queries, at corpus sizes a single
+// mutex-guarded map cannot hold. Three structural decisions follow:
+//
+//   - Term sharding. The inverted index is split into S shards by term
+//     hash, so concurrent writers (and the per-shard memory accounting)
+//     scale with shards instead of contending on one map.
+//   - Immutable read snapshots. Each shard publishes its sealed
+//     segments through an atomic pointer; queries only ever load those
+//     pointers, so a query never takes a lock and never contends with
+//     the indexer. Writers batch new postings in a per-shard memtable
+//     and seal it into a fresh immutable segment on Refresh — the
+//     near-real-time search design, in miniature.
+//   - Incremental compaction. Sealing once per committed block would
+//     accumulate tiny segments forever; when a shard exceeds its
+//     segment budget the smallest two segments are merged, keeping
+//     per-query segment fan-out bounded while never rewriting the
+//     whole shard at once.
+//
+// Ranking is BM25 (k1/b defaults from the literature), with the legacy
+// TF-IDF ranker kept selectable for comparison. The index is
+// deterministic: scores depend only on the indexed corpus (never on
+// segment layout or shard count), and ties break by document id, so
 // replicas that consumed the same commits answer queries identically.
 package search
 
 import (
+	"hash/fnv"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/corpus"
+)
+
+// BM25 parameters (standard Robertson/Sparck-Jones defaults).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// DefaultShards is the term-shard count used by New.
+const DefaultShards = 16
+
+// defaultFlushDocs seals a shard memtable once it holds this many
+// documents even without an explicit Refresh, bounding memtable size
+// between commits.
+const defaultFlushDocs = 512
+
+// defaultMaxSegments is the per-shard segment budget before compaction
+// merges the smallest pair.
+const defaultMaxSegments = 8
+
+// Ranker selects the scoring function.
+type Ranker string
+
+// Available rankers.
+const (
+	// RankBM25 is the default: per-term IDF with term-frequency
+	// saturation and document-length normalisation.
+	RankBM25 Ranker = "bm25"
+	// RankTFIDF is the pre-sharding scorer, kept for relevance
+	// comparisons (EXPERIMENTS.md E22): tf/|doc| * log(1 + N/df).
+	RankTFIDF Ranker = "tfidf"
 )
 
 // Result is one ranked query hit.
@@ -25,89 +80,377 @@ type Result struct {
 	Score float64 `json:"score"`
 }
 
-// docInfo is the per-document bookkeeping the ranker needs.
+// Page is one pagination window of a ranked result list.
+type Page struct {
+	// Total is the number of matching documents before pagination.
+	Total int `json:"total"`
+	// Offset echoes the requested window start.
+	Offset int `json:"offset"`
+	// Results is the window itself.
+	Results []Result `json:"results"`
+}
+
+// docInfo is the per-document bookkeeping the ranker needs. Documents
+// are immutable once committed, so entries are write-once.
 type docInfo struct {
+	ID     string `json:"id"`
 	Topic  string `json:"topic"`
-	Length int    `json:"length"` // token count, for TF normalisation
+	Length int32  `json:"length"` // token count, for length normalisation
 }
 
-// Index is a thread-safe inverted index with TF-IDF scoring.
+// posting is one (document, term-frequency) pair. Documents are
+// referenced by their dense internal index into the doc table.
+type posting struct {
+	Doc int32 `json:"d"`
+	TF  int32 `json:"f"`
+}
+
+// segment is an immutable sealed batch of postings. Once published in a
+// shard view it is never mutated — only replaced wholesale by
+// compaction — so readers need no synchronisation beyond loading the
+// view pointer.
+type segment struct {
+	postings map[string][]posting
+	docs     int // documents that contributed postings to this segment
+}
+
+// shardView is what a query sees of one shard: the sealed segments at
+// the time of the last Refresh.
+type shardView struct {
+	segments []*segment
+}
+
+// shard is one term-hash partition of the index.
+type shard struct {
+	// mu serializes writers (memtable appends, seal, compaction).
+	// Queries never take it.
+	mu sync.Mutex
+	// mem is the mutable memtable new postings land in.
+	mem     map[string][]posting
+	memDocs int
+	// view is the immutable published state queries read.
+	view atomic.Pointer[shardView]
+	// compactions counts segment merges (observability).
+	compactions uint64
+}
+
+// docsView is the immutable published doc table: a prefix of the
+// grow-only info slice plus the corpus statistics the rankers need.
+type docsView struct {
+	infos    []docInfo // length fixed at publish; entries are write-once
+	totalLen int64
+}
+
+// Index is a term-sharded inverted index with immutable read snapshots
+// and BM25 ranking.
 type Index struct {
-	mu       sync.RWMutex
-	postings map[string]map[string]int // term -> doc id -> term frequency
-	docs     map[string]docInfo
+	shards []*shard
+
+	// wmu serializes writers (Add, Refresh, reset). Queries never take
+	// it: they read the atomic views only.
+	wmu sync.Mutex
+	// byID maps document id to dense internal index (writer-side dedup).
+	byID map[string]int32
+	// infos is the grow-only doc table; docs.Load() exposes a sealed
+	// prefix to readers.
+	infos    []docInfo
+	totalLen int64
+	docs     atomic.Pointer[docsView]
+	// memDocs counts documents added since the last Refresh.
+	memDocs int
+
+	flushDocs   int
+	maxSegments int
 }
 
-// New creates an empty index.
-func New() *Index {
-	return &Index{
-		postings: make(map[string]map[string]int),
-		docs:     make(map[string]docInfo),
+// New creates an empty index with DefaultShards term shards.
+func New() *Index { return NewSharded(DefaultShards) }
+
+// NewSharded creates an empty index with the given shard count
+// (values < 1 are clamped to 1). Scores are independent of the shard
+// count; only write concurrency and per-shard memory change.
+func NewSharded(shards int) *Index {
+	if shards < 1 {
+		shards = 1
 	}
+	x := &Index{
+		shards:      make([]*shard, shards),
+		byID:        make(map[string]int32),
+		flushDocs:   defaultFlushDocs,
+		maxSegments: defaultMaxSegments,
+	}
+	for i := range x.shards {
+		sh := &shard{mem: make(map[string][]posting)}
+		sh.view.Store(&shardView{})
+		x.shards[i] = sh
+	}
+	x.docs.Store(&docsView{})
+	return x
+}
+
+// shardFor hashes a term onto its shard.
+func (x *Index) shardFor(term string) *shard {
+	if len(x.shards) == 1 {
+		return x.shards[0]
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(term))
+	return x.shards[h.Sum32()%uint32(len(x.shards))]
 }
 
 // Add indexes one document. Re-adding an id is a no-op (documents are
-// immutable once committed).
+// immutable once committed). The document becomes visible to queries at
+// the next Refresh (or automatically once enough documents accumulate).
 func (x *Index) Add(id, topic, text string) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	x.addLocked(id, topic, text)
-}
-
-func (x *Index) addLocked(id, topic, text string) {
 	if id == "" {
 		return
 	}
-	if _, dup := x.docs[id]; dup {
+	x.wmu.Lock()
+	defer x.wmu.Unlock()
+	if _, dup := x.byID[id]; dup {
 		return
 	}
 	toks := corpus.Tokenize(text)
-	x.docs[id] = docInfo{Topic: topic, Length: len(toks)}
+	idx := int32(len(x.infos))
+	x.byID[id] = idx
+	x.infos = append(x.infos, docInfo{ID: id, Topic: topic, Length: int32(len(toks))})
+	x.totalLen += int64(len(toks))
+	x.memDocs++
+
+	// Per-document term frequencies, then routed to their term shards.
+	tf := make(map[string]int32, len(toks))
 	for _, tok := range toks {
-		post := x.postings[tok]
-		if post == nil {
-			post = make(map[string]int)
-			x.postings[tok] = post
-		}
-		post[id]++
+		tf[tok]++
+	}
+	touched := make(map[*shard]bool, len(x.shards))
+	for term, n := range tf {
+		sh := x.shardFor(term)
+		sh.mu.Lock()
+		sh.mem[term] = append(sh.mem[term], posting{Doc: idx, TF: n})
+		sh.mu.Unlock()
+		touched[sh] = true
+	}
+	for sh := range touched {
+		sh.mu.Lock()
+		sh.memDocs++
+		sh.mu.Unlock()
+	}
+	if x.memDocs >= x.flushDocs {
+		x.refreshLocked()
 	}
 }
 
-// Docs returns the number of indexed documents.
-func (x *Index) Docs() int {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return len(x.docs)
+// Refresh seals every shard memtable into an immutable segment and
+// publishes new read views. The commit-bus indexer calls it after each
+// applied batch, so queries see committed articles with at most one
+// batch of lag.
+func (x *Index) Refresh() {
+	x.wmu.Lock()
+	defer x.wmu.Unlock()
+	x.refreshLocked()
 }
 
-// Terms returns the number of distinct indexed terms.
-func (x *Index) Terms() int {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	return len(x.postings)
+func (x *Index) refreshLocked() {
+	if x.memDocs == 0 {
+		return
+	}
+	x.memDocs = 0
+	// Publish the doc table first: postings must never reference a
+	// document a concurrent query cannot resolve.
+	x.docs.Store(&docsView{infos: x.infos[:len(x.infos):len(x.infos)], totalLen: x.totalLen})
+	for _, sh := range x.shards {
+		sh.seal(x.maxSegments)
+	}
 }
 
-// Query returns the top-k documents for the query string, ranked by
-// TF-IDF: each query term contributes tf/|doc| * log(1 + N/df). k <= 0
-// means no limit.
-func (x *Index) Query(q string, k int) []Result {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	n := float64(len(x.docs))
-	scores := make(map[string]float64)
-	for _, tok := range corpus.Tokenize(q) {
-		post := x.postings[tok]
-		if len(post) == 0 {
+// seal freezes the shard memtable into a segment, compacts if the
+// segment budget is exceeded, and publishes the new view.
+func (sh *shard) seal(maxSegments int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.memDocs == 0 {
+		return
+	}
+	old := sh.view.Load()
+	segs := make([]*segment, len(old.segments), len(old.segments)+1)
+	copy(segs, old.segments)
+	segs = append(segs, &segment{postings: sh.mem, docs: sh.memDocs})
+	sh.mem = make(map[string][]posting)
+	sh.memDocs = 0
+	for len(segs) > maxSegments {
+		segs = compactSmallest(segs)
+		sh.compactions++
+	}
+	sh.view.Store(&shardView{segments: segs})
+}
+
+// compactSmallest merges the two segments with the fewest documents
+// into one, preserving every posting. Posting-list order within a term
+// may interleave across merged segments; scoring is order-independent
+// and serialization sorts, so determinism is unaffected.
+func compactSmallest(segs []*segment) []*segment {
+	if len(segs) < 2 {
+		return segs
+	}
+	a, b := 0, 1
+	if segs[b].docs < segs[a].docs {
+		a, b = b, a
+	}
+	for i := 2; i < len(segs); i++ {
+		if segs[i].docs < segs[a].docs {
+			a, b = i, a
+		} else if segs[i].docs < segs[b].docs {
+			b = i
+		}
+	}
+	if a > b {
+		a, b = b, a
+	}
+	merged := &segment{
+		postings: make(map[string][]posting, len(segs[a].postings)+len(segs[b].postings)),
+		docs:     segs[a].docs + segs[b].docs,
+	}
+	for _, src := range []*segment{segs[a], segs[b]} {
+		for term, ps := range src.postings {
+			merged.postings[term] = append(merged.postings[term], ps...)
+		}
+	}
+	out := make([]*segment, 0, len(segs)-1)
+	for i, s := range segs {
+		if i == a || i == b {
 			continue
 		}
-		idf := math.Log(1 + n/float64(len(post)))
-		for id, tf := range post {
-			scores[id] += float64(tf) / float64(x.docs[id].Length) * idf
+		out = append(out, s)
+	}
+	return append(out, merged)
+}
+
+// Docs returns the number of indexed documents visible to queries.
+func (x *Index) Docs() int { return len(x.docs.Load().infos) }
+
+// PendingDocs returns the number of added documents not yet published
+// to queries (awaiting Refresh).
+func (x *Index) PendingDocs() int {
+	x.wmu.Lock()
+	defer x.wmu.Unlock()
+	return x.memDocs
+}
+
+// Terms returns the number of distinct indexed terms across all
+// published segments.
+func (x *Index) Terms() int {
+	seen := make(map[string]bool)
+	for _, sh := range x.shards {
+		for _, seg := range sh.view.Load().segments {
+			for term := range seg.postings {
+				seen[term] = true
+			}
 		}
 	}
+	return len(seen)
+}
+
+// ShardStats is the per-shard observability record.
+type ShardStats struct {
+	Terms       int    `json:"terms"`
+	Postings    int    `json:"postings"`
+	Segments    int    `json:"segments"`
+	Compactions uint64 `json:"compactions"`
+}
+
+// Stats reports per-shard term/posting/segment counts (published state
+// only).
+func (x *Index) Stats() []ShardStats {
+	out := make([]ShardStats, len(x.shards))
+	for i, sh := range x.shards {
+		view := sh.view.Load()
+		st := ShardStats{Segments: len(view.segments)}
+		terms := make(map[string]bool)
+		for _, seg := range view.segments {
+			for term, ps := range seg.postings {
+				terms[term] = true
+				st.Postings += len(ps)
+			}
+		}
+		st.Terms = len(terms)
+		sh.mu.Lock()
+		st.Compactions = sh.compactions
+		sh.mu.Unlock()
+		out[i] = st
+	}
+	return out
+}
+
+// Query returns the top-k documents for the query string under BM25.
+// k <= 0 means no limit. The call is lock-free: it reads only the
+// published immutable views, so it never contends with the indexer.
+func (x *Index) Query(q string, k int) []Result {
+	page := x.QueryPage(q, RankBM25, 0, k)
+	return page.Results
+}
+
+// QueryPage runs a ranked query and returns one pagination window.
+// limit <= 0 means "to the end"; offset past the result set yields an
+// empty window with the true Total.
+func (x *Index) QueryPage(q string, ranker Ranker, offset, limit int) Page {
+	docs := x.docs.Load()
+	n := len(docs.infos)
+	if offset < 0 {
+		offset = 0
+	}
+	if n == 0 {
+		return Page{Offset: offset, Results: []Result{}}
+	}
+	avgdl := float64(docs.totalLen) / float64(n)
+	if avgdl <= 0 {
+		avgdl = 1
+	}
+
+	scores := make(map[int32]float64)
+	for _, tok := range corpus.Tokenize(q) {
+		sh := x.shardFor(tok)
+		view := sh.view.Load()
+		// df first: IDF needs the document frequency across segments.
+		df := 0
+		for _, seg := range view.segments {
+			df += len(seg.postings[tok])
+		}
+		if df == 0 {
+			continue
+		}
+		var idf float64
+		switch ranker {
+		case RankTFIDF:
+			idf = math.Log(1 + float64(n)/float64(df))
+		default:
+			idf = math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+		}
+		for _, seg := range view.segments {
+			for _, p := range seg.postings[tok] {
+				if int(p.Doc) >= n {
+					// Posting sealed after the doc view we loaded;
+					// skip rather than read an unpublished entry.
+					continue
+				}
+				dl := float64(docs.infos[p.Doc].Length)
+				tf := float64(p.TF)
+				switch ranker {
+				case RankTFIDF:
+					if dl > 0 {
+						scores[p.Doc] += tf / dl * idf
+					}
+				default:
+					denom := tf + bm25K1*(1-bm25B+bm25B*dl/avgdl)
+					scores[p.Doc] += idf * tf * (bm25K1 + 1) / denom
+				}
+			}
+		}
+	}
+
 	out := make([]Result, 0, len(scores))
-	for id, sc := range scores {
-		out = append(out, Result{ID: id, Topic: x.docs[id].Topic, Score: sc})
+	for idx, sc := range scores {
+		info := docs.infos[idx]
+		out = append(out, Result{ID: info.ID, Topic: info.Topic, Score: sc})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -115,50 +458,90 @@ func (x *Index) Query(q string, k int) []Result {
 		}
 		return out[i].ID < out[j].ID
 	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
+	total := len(out)
+	if offset >= total {
+		return Page{Total: total, Offset: offset, Results: []Result{}}
 	}
-	return out
+	out = out[offset:]
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return Page{Total: total, Offset: offset, Results: out}
 }
 
-// indexSnapshot is the self-contained serialized index: postings and doc
-// table travel whole, so restoring needs no access to article bodies.
+// ---------------------------------------------------------------------------
+// Snapshot / restore.
+// ---------------------------------------------------------------------------
+
+// indexSnapshot is the self-contained serialized index: the doc table
+// in internal order plus merged, doc-sorted posting lists. The format
+// is independent of shard count and segment layout, so a snapshot
+// written by one node restores bit-identically on another regardless
+// of how either arranged its segments.
 type indexSnapshot struct {
-	Postings map[string]map[string]int `json:"postings"`
-	Docs     map[string]docInfo        `json:"docs"`
+	Docs     []docInfo            `json:"docs"`
+	Postings map[string][]posting `json:"postings"`
 }
 
-// snapshot captures the index state (callers hold no lock).
+// snapshot captures the published index state (callers must have
+// Refreshed; the platform flushes the indexer before checkpointing).
 func (x *Index) snapshot() indexSnapshot {
-	x.mu.RLock()
-	defer x.mu.RUnlock()
+	x.wmu.Lock()
+	x.refreshLocked()
+	docs := x.docs.Load()
+	x.wmu.Unlock()
 	snap := indexSnapshot{
-		Postings: make(map[string]map[string]int, len(x.postings)),
-		Docs:     make(map[string]docInfo, len(x.docs)),
+		Docs:     append([]docInfo(nil), docs.infos...),
+		Postings: make(map[string][]posting),
 	}
-	for t, post := range x.postings {
-		cp := make(map[string]int, len(post))
-		for id, tf := range post {
-			cp[id] = tf
+	for _, sh := range x.shards {
+		for _, seg := range sh.view.Load().segments {
+			for term, ps := range seg.postings {
+				snap.Postings[term] = append(snap.Postings[term], ps...)
+			}
 		}
-		snap.Postings[t] = cp
 	}
-	for id, info := range x.docs {
-		snap.Docs[id] = info
+	for term := range snap.Postings {
+		ps := snap.Postings[term]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Doc < ps[j].Doc })
 	}
 	return snap
 }
 
-// reset replaces the index state wholesale.
+// reset replaces the index state wholesale from a snapshot: the doc
+// table is restored in internal order and every shard gets its postings
+// back as a single sealed segment.
 func (x *Index) reset(snap indexSnapshot) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	x.postings = snap.Postings
-	if x.postings == nil {
-		x.postings = make(map[string]map[string]int)
+	x.wmu.Lock()
+	defer x.wmu.Unlock()
+	x.byID = make(map[string]int32, len(snap.Docs))
+	x.infos = append([]docInfo(nil), snap.Docs...)
+	x.totalLen = 0
+	x.memDocs = 0
+	for i, d := range x.infos {
+		x.byID[d.ID] = int32(i)
+		x.totalLen += int64(d.Length)
 	}
-	x.docs = snap.Docs
-	if x.docs == nil {
-		x.docs = make(map[string]docInfo)
+	perShard := make(map[*shard]map[string][]posting)
+	for term, ps := range snap.Postings {
+		sh := x.shardFor(term)
+		m := perShard[sh]
+		if m == nil {
+			m = make(map[string][]posting)
+			perShard[sh] = m
+		}
+		m[term] = append([]posting(nil), ps...)
+	}
+	x.docs.Store(&docsView{infos: x.infos[:len(x.infos):len(x.infos)], totalLen: x.totalLen})
+	for _, sh := range x.shards {
+		sh.mu.Lock()
+		sh.mem = make(map[string][]posting)
+		sh.memDocs = 0
+		if m := perShard[sh]; m != nil {
+			sh.view.Store(&shardView{segments: []*segment{{postings: m, docs: len(x.infos)}}})
+		} else {
+			sh.view.Store(&shardView{})
+		}
+		sh.mu.Unlock()
 	}
 }

@@ -2,6 +2,9 @@ package search
 
 import (
 	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/commitbus"
@@ -9,11 +12,12 @@ import (
 	"repro/internal/supplychain"
 )
 
-func TestQueryRanksByTFIDF(t *testing.T) {
+func TestQueryRanksByBM25(t *testing.T) {
 	x := New()
 	x.Add("a", "econ", "the budget passed the budget committee budget")
 	x.Add("b", "econ", "the committee debated the schedule")
 	x.Add("c", "sport", "the match ended in a draw")
+	x.Refresh()
 
 	res := x.Query("budget committee", 0)
 	if len(res) != 2 {
@@ -35,6 +39,7 @@ func TestQueryTopKAndNoHits(t *testing.T) {
 	for _, id := range []string{"a", "b", "c", "d"} {
 		x.Add(id, "t", "shared words everywhere")
 	}
+	x.Refresh()
 	if res := x.Query("shared", 2); len(res) != 2 {
 		t.Fatalf("top-2 = %d hits", len(res))
 	}
@@ -46,10 +51,42 @@ func TestQueryTopKAndNoHits(t *testing.T) {
 	}
 }
 
+func TestQueryPagination(t *testing.T) {
+	x := New()
+	for i := 0; i < 10; i++ {
+		x.Add(fmt.Sprintf("doc-%02d", i), "t", "common theme everywhere")
+	}
+	x.Refresh()
+	p := x.QueryPage("common", RankBM25, 0, 4)
+	if p.Total != 10 || len(p.Results) != 4 {
+		t.Fatalf("page 0: total=%d len=%d", p.Total, len(p.Results))
+	}
+	p2 := x.QueryPage("common", RankBM25, 4, 4)
+	if p2.Total != 10 || len(p2.Results) != 4 {
+		t.Fatalf("page 1: total=%d len=%d", p2.Total, len(p2.Results))
+	}
+	if p.Results[0].ID == p2.Results[0].ID {
+		t.Fatal("pages overlap")
+	}
+	// All scores tie, so pagination order is the id tie-break: the two
+	// pages concatenated must equal the unpaginated top-8.
+	all := x.QueryPage("common", RankBM25, 0, 8)
+	got := append(append([]Result{}, p.Results...), p2.Results...)
+	if !reflect.DeepEqual(all.Results, got) {
+		t.Fatalf("pages not contiguous:\nall  %v\npages %v", all.Results, got)
+	}
+	// Past-the-end window: empty but with the true total.
+	p3 := x.QueryPage("common", RankBM25, 100, 4)
+	if p3.Total != 10 || len(p3.Results) != 0 {
+		t.Fatalf("past-end page: %+v", p3)
+	}
+}
+
 func TestAddIsIdempotent(t *testing.T) {
 	x := New()
 	x.Add("a", "t", "one two three")
 	x.Add("a", "t", "one two three")
+	x.Refresh()
 	if x.Docs() != 1 {
 		t.Fatalf("Docs = %d, want 1", x.Docs())
 	}
@@ -63,9 +100,119 @@ func TestDeterministicTieBreak(t *testing.T) {
 	x := New()
 	x.Add("beta", "t", "identical text")
 	x.Add("alpha", "t", "identical text")
+	x.Refresh()
 	res := x.Query("identical", 0)
 	if len(res) != 2 || res[0].ID != "alpha" || res[1].ID != "beta" {
 		t.Fatalf("tie-break not by id: %v", res)
+	}
+}
+
+// TestScoresIndependentOfShardCountAndSegmentLayout is the determinism
+// invariant the snapshot format relies on: the same corpus must score
+// identically whatever the shard count and however the segments were
+// sealed or compacted.
+func TestScoresIndependentOfShardCountAndSegmentLayout(t *testing.T) {
+	corpusDocs := make([][3]string, 60)
+	for i := range corpusDocs {
+		corpusDocs[i] = [3]string{
+			fmt.Sprintf("d%03d", i), "t",
+			fmt.Sprintf("senate budget vote round %d plus filler words number %d", i%7, i),
+		}
+	}
+	build := func(shards, refreshEvery int) *Index {
+		x := NewSharded(shards)
+		for i, d := range corpusDocs {
+			x.Add(d[0], d[1], d[2])
+			if refreshEvery > 0 && i%refreshEvery == 0 {
+				x.Refresh()
+			}
+		}
+		x.Refresh()
+		return x
+	}
+	want := build(1, 0).QueryPage("senate budget round", RankBM25, 0, 0)
+	for _, cfg := range [][2]int{{4, 3}, {16, 1}, {16, 7}, {3, 5}} {
+		got := build(cfg[0], cfg[1]).QueryPage("senate budget round", RankBM25, 0, 0)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d refreshEvery=%d diverged from single-shard scores", cfg[0], cfg[1])
+		}
+	}
+}
+
+// TestCompactionBoundsSegments drives many small refreshes through one
+// shard and checks the segment budget holds while no posting is lost.
+func TestCompactionBoundsSegments(t *testing.T) {
+	x := NewSharded(1)
+	for i := 0; i < 100; i++ {
+		x.Add(fmt.Sprintf("d%03d", i), "t", fmt.Sprintf("word%d shared", i))
+		x.Refresh() // one tiny segment per doc without compaction
+	}
+	st := x.Stats()[0]
+	if st.Segments > defaultMaxSegments {
+		t.Fatalf("segments = %d, budget %d", st.Segments, defaultMaxSegments)
+	}
+	if st.Compactions == 0 {
+		t.Fatal("no compactions recorded")
+	}
+	if res := x.Query("shared", 0); len(res) != 100 {
+		t.Fatalf("compaction lost postings: %d/100 docs match", len(res))
+	}
+}
+
+// TestConcurrentQueriesDuringIndexing exercises the lock-free read
+// path under -race: queries run while the writer adds and refreshes.
+func TestConcurrentQueriesDuringIndexing(t *testing.T) {
+	x := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					x.Query("concurrent words stream", 10)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		x.Add(fmt.Sprintf("d%05d", i), "t", fmt.Sprintf("concurrent words stream item %d", i))
+		if i%97 == 0 {
+			x.Refresh()
+		}
+	}
+	x.Refresh()
+	close(stop)
+	wg.Wait()
+	if got := x.Docs(); got != 2000 {
+		t.Fatalf("Docs = %d, want 2000", got)
+	}
+	if res := x.Query("concurrent", 0); len(res) != 2000 {
+		t.Fatalf("matches = %d, want 2000", len(res))
+	}
+}
+
+func TestTFIDFRankerMatchesLegacyIndex(t *testing.T) {
+	x := New()
+	leg := NewLocked()
+	docs := [][3]string{
+		{"a", "econ", "the budget passed the budget committee budget"},
+		{"b", "econ", "the committee debated the schedule"},
+		{"c", "sport", "the match ended in a draw"},
+	}
+	for _, d := range docs {
+		x.Add(d[0], d[1], d[2])
+		leg.Add(d[0], d[1], d[2])
+	}
+	x.Refresh()
+	got := x.QueryPage("budget committee", RankTFIDF, 0, 0).Results
+	want := leg.Query("budget committee", 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tfidf ranker diverged from legacy index:\ngot  %v\nwant %v", got, want)
 	}
 }
 
@@ -90,42 +237,50 @@ func publishEvent(t *testing.T, height uint64, it supplychain.Item) commitbus.Co
 	}
 }
 
-func TestSubscriberIndexesInlineAndOffChain(t *testing.T) {
+func TestSubscriberIndexesInlineAndOffChainAsync(t *testing.T) {
 	bodies := map[string]string{"cid1": "resolved off chain body about tariffs"}
-	sub := &Subscriber{
-		Index: New(),
-		Resolve: func(cid string) (string, error) {
-			b, ok := bodies[cid]
-			if !ok {
-				t.Fatalf("unexpected resolve %s", cid)
-			}
-			return b, nil
-		},
-	}
+	sub := NewSubscriber(New(), func(cid string) (string, error) {
+		b, ok := bodies[cid]
+		if !ok {
+			return "", fmt.Errorf("unexpected resolve %s", cid)
+		}
+		return b, nil
+	})
 	if err := sub.OnCommit(publishEvent(t, 1, supplychain.Item{ID: "in", Topic: "econ", Text: "inline body about budgets"})); err != nil {
 		t.Fatal(err)
 	}
 	if err := sub.OnCommit(publishEvent(t, 2, supplychain.Item{ID: "off", Topic: "econ", CID: "cid1", Size: 38})); err != nil {
 		t.Fatal(err)
 	}
+	sub.Flush()
 	if res := sub.Index.Query("tariffs", 0); len(res) != 1 || res[0].ID != "off" {
 		t.Fatalf("off-chain body not searchable: %v", res)
 	}
 	if res := sub.Index.Query("budgets", 0); len(res) != 1 || res[0].ID != "in" {
 		t.Fatalf("inline body not searchable: %v", res)
 	}
+	if st := sub.Stats(); st.Indexed != 2 || st.Pending != 0 || st.Errors != 0 {
+		t.Fatalf("indexer stats = %+v", st)
+	}
 }
 
-func TestSubscriberRequiresResolverForOffChain(t *testing.T) {
-	sub := &Subscriber{Index: New()}
-	err := sub.OnCommit(publishEvent(t, 1, supplychain.Item{ID: "off", Topic: "econ", CID: "cid1", Size: 10}))
-	if err == nil {
-		t.Fatal("off-chain item indexed without a resolver")
+func TestSubscriberCountsResolveFailures(t *testing.T) {
+	sub := NewSubscriber(New(), nil)
+	if err := sub.OnCommit(publishEvent(t, 1, supplychain.Item{ID: "off", Topic: "econ", CID: "cid1", Size: 10})); err != nil {
+		t.Fatal(err)
+	}
+	sub.Flush()
+	st := sub.Stats()
+	if st.Errors != 1 || st.LastError == "" {
+		t.Fatalf("resolver-less off-chain item not counted as indexer error: %+v", st)
+	}
+	if sub.Index.Docs() != 0 {
+		t.Fatal("unresolvable item was indexed anyway")
 	}
 }
 
 func TestSnapshotRestoreIsSelfContained(t *testing.T) {
-	sub := &Subscriber{Index: New()}
+	sub := NewSubscriber(New(), nil)
 	sub.Index.Add("a", "econ", "the budget passed")
 	sub.Index.Add("b", "sport", "the match ended")
 	blob, err := sub.Snapshot()
@@ -134,7 +289,7 @@ func TestSnapshotRestoreIsSelfContained(t *testing.T) {
 	}
 
 	// Restore into a fresh subscriber with NO resolver: must not need one.
-	re := &Subscriber{Index: New()}
+	re := NewSubscriber(New(), nil)
 	if err := re.Restore(blob); err != nil {
 		t.Fatal(err)
 	}
@@ -151,5 +306,33 @@ func TestSnapshotRestoreIsSelfContained(t *testing.T) {
 	}
 	if re.Index.Docs() != 0 {
 		t.Fatal("empty restore did not clear index")
+	}
+}
+
+// TestSnapshotDeterministicAcrossLayouts: two indexes holding the same
+// corpus but with different shard counts and seal histories must emit
+// byte-identical snapshots — the property that lets replicas exchange
+// and compare checkpoints.
+func TestSnapshotDeterministicAcrossLayouts(t *testing.T) {
+	build := func(shards, refreshEvery int) *Subscriber {
+		sub := NewSubscriber(NewSharded(shards), nil)
+		for i := 0; i < 40; i++ {
+			sub.Index.Add(fmt.Sprintf("d%02d", i), "t", fmt.Sprintf("shared words item %d", i))
+			if i%refreshEvery == 0 {
+				sub.Index.Refresh()
+			}
+		}
+		return sub
+	}
+	a, err := build(16, 3).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build(4, 7).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("snapshots differ across shard counts / segment layouts")
 	}
 }

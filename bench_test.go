@@ -383,3 +383,17 @@ func BenchmarkE22IngestSearch(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE23ShardLanes(b *testing.B) {
+	cfg := experiments.DefaultE23()
+	cfg.Shards = []int{1, 4}
+	cfg.CrossPcts = []int{0, 50}
+	cfg.Senders, cfg.BlocksPerSender = 128, 2
+	cfg.WorkRounds = 150
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE23(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package contract
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/ledger"
+)
+
+// FuzzShardPlan checks the shard planner's replica-safety property: the
+// same transaction set against the same committed state must always
+// yield the identical schedule (lanes and segments), whatever goroutine
+// interleaving speculation ran under — every replica must derive the
+// same plan or lanes would fork the chain. Also sanity-checks the plan
+// shape: lanes in range, segments exactly partitioning the block.
+func FuzzShardPlan(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint8(4))
+	f.Add([]byte{9, 9, 9, 9, 9, 9}, uint8(2))
+	f.Add([]byte{}, uint8(8))
+	f.Add([]byte{7, 3, 7, 3, 200, 100, 50}, uint8(5))
+	f.Fuzz(func(t *testing.T, plan []byte, shardSeed uint8) {
+		if len(plan) > 64 {
+			plan = plan[:64]
+		}
+		shards := int(shardSeed)%8 + 1
+		build := func() (*Engine, *ledger.Block) {
+			e := NewShardedEngine(shards)
+			for _, c := range []Contract{counterContract{}, pairContract{}} {
+				if err := e.Register(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Seed committed state so speculation reads real values.
+			seedKp := keys.FromSeed([]byte("seed"))
+			seed, _ := ledger.NewTx(seedKp, 0, "counter.add", []byte("shared:3"))
+			e.ExecuteTx(seed, 1)
+			var txs []*ledger.Tx
+			for i, p := range plan {
+				kp := keys.FromSeed([]byte("f" + strconv.Itoa(i)))
+				var tx *ledger.Tx
+				switch p % 4 {
+				case 0:
+					tx, _ = ledger.NewTx(kp, 0, "counter.add", []byte("shared:1"))
+				case 1:
+					tx, _ = ledger.NewTx(kp, 0, "counter.add", []byte("p"+strconv.Itoa(int(p))+":1"))
+				case 2:
+					tx, _ = ledger.NewTx(kp, 0, "pair.add2", []byte("x"+strconv.Itoa(int(p%6))+"|y"+strconv.Itoa(i%4)+"|1"))
+				default:
+					tx, _ = ledger.NewTx(kp, 0, "counter.sum", nil)
+				}
+				txs = append(txs, tx)
+			}
+			return e, blockOf(t, txs)
+		}
+		e1, b1 := build()
+		e2, b2 := build()
+		p1 := e1.PlanBlock(b1, shards, 4)
+		p2 := e2.PlanBlock(b2, shards, 2) // different worker count, same plan
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("plan not deterministic:\n%+v\n%+v", p1, p2)
+		}
+		// Shape: lanes in range, segments partition [0, n) in order.
+		next := 0
+		for _, seg := range p1.Segments {
+			if seg.From != next || seg.To <= seg.From {
+				t.Fatalf("segments do not partition the block: %+v", p1.Segments)
+			}
+			next = seg.To
+		}
+		if next != len(p1.Lanes) {
+			t.Fatalf("segments cover %d of %d txs", next, len(p1.Lanes))
+		}
+		for i, lane := range p1.Lanes {
+			if lane != laneCross && (lane < 0 || lane >= shards) {
+				t.Fatalf("tx %d lane %d out of range for %d shards", i, lane, shards)
+			}
+		}
+	})
+}

@@ -1,0 +1,278 @@
+package contract
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/store"
+)
+
+// pairContract increments two named counters in one transaction — the
+// minimal genuinely multi-key workload, so a pair whose keys hash to
+// different shards exercises the cross-shard barrier path.
+type pairContract struct{}
+
+func (pairContract) Name() string { return "pair" }
+
+func (pairContract) Execute(ctx *Context, method string, args []byte) ([]byte, error) {
+	if method != "add2" {
+		return nil, ErrUnknownMethod
+	}
+	parts := strings.Split(string(args), "|")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("pair: want a|b|delta, got %q", args)
+	}
+	delta, err := strconv.ParseUint(parts[2], 10, 8)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range parts[:2] {
+		cur := byte(0)
+		if raw, err := ctx.Get(name); err == nil && len(raw) == 1 {
+			cur = raw[0]
+		}
+		if err := ctx.Put(name, []byte{cur + byte(delta)}); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// hopContract's "follow" reads key b only when key a already exists —
+// a value-dependent read set, so its runtime reads can escape the shard
+// the planner assigned from pre-block speculation. This is the workload
+// that forces a wave abort.
+type hopContract struct{}
+
+func (hopContract) Name() string { return "hop" }
+
+func (hopContract) Execute(ctx *Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "put":
+		return nil, ctx.Put(string(args), []byte{1})
+	case "follow":
+		parts := strings.Split(string(args), "|")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("hop: want a|b, got %q", args)
+		}
+		if _, err := ctx.Get(parts[0]); err == nil {
+			_, _ = ctx.Get(parts[1]) // read discovered only at runtime
+		}
+		return nil, ctx.Put(parts[0], []byte{2})
+	}
+	return nil, ErrUnknownMethod
+}
+
+// newShardTestEngines builds a serial twin and a sharded engine with the
+// same contracts registered.
+func newShardTestEngines(t testing.TB, shards int) (serial, sharded *Engine) {
+	t.Helper()
+	serial, sharded = NewEngine(), NewShardedEngine(shards)
+	for _, e := range []*Engine{serial, sharded} {
+		for _, c := range []Contract{counterContract{}, pairContract{}, hopContract{}} {
+			if err := e.Register(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return serial, sharded
+}
+
+// mixTxs builds a deterministic workload: crossPct percent of
+// transactions are two-key pair updates (cross-shard whenever the keys
+// hash apart), the rest single-counter adds over a small hot key space.
+func mixTxs(t testing.TB, n, crossPct int) []*ledger.Tx {
+	t.Helper()
+	var txs []*ledger.Tx
+	for i := 0; i < n; i++ {
+		kp := keys.FromSeed([]byte("mix" + strconv.Itoa(i)))
+		var tx *ledger.Tx
+		var err error
+		if (i*37)%100 < crossPct {
+			a, b := "a"+strconv.Itoa(i%7), "b"+strconv.Itoa((i+3)%5)
+			tx, err = ledger.NewTx(kp, 0, "pair.add2", []byte(a+"|"+b+"|1"))
+		} else {
+			tx, err = ledger.NewTx(kp, 0, "counter.add", []byte("c"+strconv.Itoa(i%11)+":1"))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, tx)
+	}
+	return txs
+}
+
+func assertSameReceipts(t testing.TB, serial, sharded []Receipt) {
+	t.Helper()
+	if len(serial) != len(sharded) {
+		t.Fatalf("receipt count serial=%d sharded=%d", len(serial), len(sharded))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], sharded[i]) {
+			t.Fatalf("receipt %d diverges:\nserial:  %+v\nsharded: %+v", i, serial[i], sharded[i])
+		}
+	}
+}
+
+// TestShardedMatchesSerialMixes is the tentpole's equivalence property
+// over the sweep grid: for every shard count and cross-shard fraction,
+// lane execution must produce byte-identical state roots AND receipts to
+// serial execution.
+func TestShardedMatchesSerialMixes(t *testing.T) {
+	for _, crossPct := range []int{0, 20, 80} {
+		for _, shards := range []int{2, 4, 8} {
+			t.Run(fmt.Sprintf("cross%d_s%d", crossPct, shards), func(t *testing.T) {
+				serial, sharded := newShardTestEngines(t, shards)
+				sRecs := serial.ExecuteBlock(blockOf(t, mixTxs(t, 120, crossPct)))
+				gRecs, stats := sharded.ExecuteBlockSharded(blockOf(t, mixTxs(t, 120, crossPct)), shards, 4)
+				rs, _ := serial.StateRoot()
+				rp, _ := sharded.StateRoot()
+				if rs != rp {
+					t.Fatalf("state root diverges (stats %+v)", stats)
+				}
+				assertSameReceipts(t, sRecs, gRecs)
+				if crossPct == 0 && stats.CrossShardTxs != 0 {
+					t.Fatalf("single-key workload planned %d cross-shard txs", stats.CrossShardTxs)
+				}
+				if stats.Txs != 120 {
+					t.Fatalf("stats.Txs=%d", stats.Txs)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedWaveAbortFallsBackToSerial forces the validation pass to
+// reject a wave: "follow" discovers a read in another lane's shard only
+// at runtime, so the plan (built from pre-block speculation) is wrong
+// and the wave must re-run serially — still matching serial execution.
+func TestShardedWaveAbortFallsBackToSerial(t *testing.T) {
+	const shards = 4
+	// Pick hop keys that hash to different shards so the two putters and
+	// the follower land in distinct lanes.
+	a := "a0"
+	b := ""
+	for i := 0; i < 64; i++ {
+		cand := "b" + strconv.Itoa(i)
+		if store.ShardOf("hop/"+cand, shards) != store.ShardOf("hop/"+a, shards) {
+			b = cand
+			break
+		}
+	}
+	if b == "" {
+		t.Fatal("no differing shard found")
+	}
+	mk := func() []*ledger.Tx {
+		var txs []*ledger.Tx
+		for i, spec := range []struct{ kind, args string }{
+			{"hop.put", a},
+			{"hop.put", b},
+			{"hop.follow", a + "|" + b},
+		} {
+			kp := keys.FromSeed([]byte("hop" + strconv.Itoa(i)))
+			tx, err := ledger.NewTx(kp, 0, spec.kind, []byte(spec.args))
+			if err != nil {
+				t.Fatal(err)
+			}
+			txs = append(txs, tx)
+		}
+		return txs
+	}
+	serial, sharded := newShardTestEngines(t, shards)
+	sRecs := serial.ExecuteBlock(blockOf(t, mk()))
+	gRecs, stats := sharded.ExecuteBlockSharded(blockOf(t, mk()), shards, 4)
+	if stats.WaveAborts == 0 {
+		t.Fatalf("expected a wave abort, stats %+v", stats)
+	}
+	rs, _ := serial.StateRoot()
+	rp, _ := sharded.StateRoot()
+	if rs != rp {
+		t.Fatal("state root diverges after wave abort")
+	}
+	assertSameReceipts(t, sRecs, gRecs)
+	// The follower must have observed a's in-block write (value 2 path).
+	if raw, err := sharded.State().Get("hop/" + a); err != nil || !bytes.Equal(raw, []byte{2}) {
+		t.Fatalf("hop/%s=%v,%v want [2]", a, raw, err)
+	}
+}
+
+// TestShardedEquivalenceProperty mirrors TestParallelEquivalenceProperty:
+// random mixes of shared, private, two-key and whole-namespace-reading
+// transactions, random shard counts — roots and receipts always match
+// serial execution.
+func TestShardedEquivalenceProperty(t *testing.T) {
+	f := func(plan []uint8, shardSeed uint8) bool {
+		if len(plan) > 48 {
+			plan = plan[:48]
+		}
+		shards := int(shardSeed)%7 + 2
+		mk := func() []*ledger.Tx {
+			var txs []*ledger.Tx
+			for i, p := range plan {
+				kp := keys.FromSeed([]byte("q" + strconv.Itoa(i)))
+				var tx *ledger.Tx
+				switch p % 4 {
+				case 0:
+					tx, _ = ledger.NewTx(kp, 0, "counter.add", []byte("shared:"+strconv.Itoa(int(p%7)+1)))
+				case 1:
+					tx, _ = ledger.NewTx(kp, 0, "counter.add", []byte("p"+strconv.Itoa(i)+":1"))
+				case 2:
+					tx, _ = ledger.NewTx(kp, 0, "pair.add2", []byte("x"+strconv.Itoa(int(p%5))+"|y"+strconv.Itoa(i%3)+"|1"))
+				default:
+					tx, _ = ledger.NewTx(kp, 0, "counter.sum", nil)
+				}
+				txs = append(txs, tx)
+			}
+			return txs
+		}
+		serial, sharded := newShardTestEngines(t, shards)
+		sRecs := serial.ExecuteBlock(blockOf(t, mk()))
+		gRecs, _ := sharded.ExecuteBlockSharded(blockOf(t, mk()), shards, 4)
+		rs, _ := serial.StateRoot()
+		rp, _ := sharded.StateRoot()
+		if rs != rp {
+			return false
+		}
+		for i := range sRecs {
+			if !reflect.DeepEqual(sRecs[i], gRecs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedOnEngineWithHistory runs sharded blocks back to back on one
+// engine (state carries over) against a serial twin.
+func TestShardedOnEngineWithHistory(t *testing.T) {
+	serial, sharded := newShardTestEngines(t, 4)
+	for blkNo := 0; blkNo < 5; blkNo++ {
+		var txs []*ledger.Tx
+		for i := 0; i < 30; i++ {
+			kp := keys.FromSeed([]byte("h" + strconv.Itoa(i)))
+			tx, err := ledger.NewTx(kp, uint64(blkNo), "counter.add", []byte("c"+strconv.Itoa((i+blkNo)%9)+":1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			txs = append(txs, tx)
+		}
+		sRecs := serial.ExecuteBlock(blockOf(t, txs))
+		gRecs, _ := sharded.ExecuteBlockSharded(blockOf(t, txs), 4, 4)
+		assertSameReceipts(t, sRecs, gRecs)
+	}
+	rs, _ := serial.StateRoot()
+	rp, _ := sharded.StateRoot()
+	if rs != rp {
+		t.Fatal("state root diverges across blocks")
+	}
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/keys"
+	"repro/internal/ledger"
+	"repro/internal/platform"
+	"repro/internal/store"
+)
+
+// E23Config sizes the shard-lane commit sweep.
+type E23Config struct {
+	// Shards is the lane-count sweep (1 is the serial single-lane
+	// baseline every other cell's speedup is measured against).
+	Shards []int
+	// CrossPcts sweeps the fraction of two-key cross-shard transactions.
+	CrossPcts []int
+	// Senders is the signing population; each sender submits
+	// BlocksPerSender nonce-sequential transactions, one per block wave,
+	// so every block carries one transaction per sender (the steady-state
+	// shape an open-loop arrival process produces, rather than the
+	// whole-nonce-chain blocks sender-major batching builds from a
+	// pre-filled pool).
+	Senders         int
+	BlocksPerSender int
+	// Keys is the single-shard key space (senders hash onto it; keys
+	// shared by senders landing in the same block chain within the block
+	// and exercise in-lane re-execution).
+	Keys int
+	// CrossPairs is the pool of two-key cross-shard pairs; cross senders
+	// share it, so barrier conflicts grow with the cross fraction.
+	CrossPairs int
+	// WorkRounds is the per-tx compute weight (sha256 chain length),
+	// standing in for real contract business logic.
+	WorkRounds int
+	// MaxTxsPerBlock bounds the standalone proposer's batch.
+	MaxTxsPerBlock int
+}
+
+// DefaultE23 returns the standard configuration: 2048 txs per cell over
+// a 64-key hot space, swept across S ∈ {1,2,4,8} × cross ∈ {0,10,50}%.
+func DefaultE23() E23Config {
+	return E23Config{
+		Shards:          []int{1, 2, 4, 8},
+		CrossPcts:       []int{0, 10, 50},
+		Senders:         512,
+		BlocksPerSender: 4,
+		Keys:            512,
+		CrossPairs:      32,
+		WorkRounds:      300,
+		MaxTxsPerBlock:  512,
+	}
+}
+
+// e23Contract is the E23 workload: read-modify-write counter chains with
+// a fixed compute weight. "add" touches one key (single-shard); "add2"
+// touches two keys picked to hash into different shards (cross-shard).
+type e23Contract struct {
+	workRounds int
+}
+
+func (e23Contract) Name() string { return "lane" }
+
+func (c e23Contract) Execute(ctx *contract.Context, method string, args []byte) ([]byte, error) {
+	sum := sha256.Sum256(args)
+	for i := 0; i < c.workRounds; i++ {
+		sum = sha256.Sum256(sum[:])
+	}
+	bump := func(key string) error {
+		cur := 0
+		if raw, err := ctx.Get(key); err == nil {
+			cur = int(raw[0]) | int(raw[1])<<8
+		}
+		cur++
+		return ctx.Put(key, []byte{byte(cur), byte(cur >> 8), sum[0]})
+	}
+	switch method {
+	case "add":
+		return nil, bump(string(args))
+	case "add2":
+		a, b, ok := strings.Cut(string(args), "|")
+		if !ok {
+			return nil, fmt.Errorf("lane: want a|b, got %q", args)
+		}
+		if err := bump(a); err != nil {
+			return nil, err
+		}
+		return nil, bump(b)
+	}
+	return nil, contract.ErrUnknownMethod
+}
+
+// e23CrossPairs picks key pairs whose full state keys ("lane/"+k) hash
+// to different shards for every swept lane count, so an "add2" over the
+// pair is genuinely cross-shard in every cell.
+func e23CrossPairs(n int, shardCounts []int) [][2]string {
+	pairs := make([][2]string, 0, n)
+	for i := 0; len(pairs) < n && i < 10000; i++ {
+		a := "xa" + strconv.Itoa(i)
+		for j := 0; j < 200; j++ {
+			b := "xb" + strconv.Itoa(i) + "_" + strconv.Itoa(j)
+			apart := true
+			for _, s := range shardCounts {
+				if s > 1 && store.ShardOf("lane/"+a, s) == store.ShardOf("lane/"+b, s) {
+					apart = false
+					break
+				}
+			}
+			if apart {
+				pairs = append(pairs, [2]string{a, b})
+				break
+			}
+		}
+	}
+	return pairs
+}
+
+// e23Waves builds one cell's signed workload as block waves: wave n
+// holds nonce n for every sender, so each committed block carries one
+// transaction per sender. crossPct percent of senders submit two-key
+// cross-shard chains drawn from the shared pair pool, the rest chain on
+// the single-key space. The same transaction set (bit-identical) is used
+// for every shard count at a given crossPct, so cells compare fairly.
+func e23Waves(cfg E23Config, crossPct int, pairs [][2]string) ([][]*ledger.Tx, error) {
+	waves := make([][]*ledger.Tx, cfg.BlocksPerSender)
+	for s := 0; s < cfg.Senders; s++ {
+		kp := keys.FromSeed([]byte("e23s" + strconv.Itoa(s)))
+		cross := (s*61)%100 < crossPct
+		for n := 0; n < cfg.BlocksPerSender; n++ {
+			var tx *ledger.Tx
+			var err error
+			if cross {
+				p := pairs[s%len(pairs)]
+				tx, err = ledger.NewTx(kp, uint64(n), "lane.add2", []byte(p[0]+"|"+p[1]))
+			} else {
+				tx, err = ledger.NewTx(kp, uint64(n), "lane.add", []byte("k"+strconv.Itoa(s%cfg.Keys)))
+			}
+			if err != nil {
+				return nil, err
+			}
+			waves[n] = append(waves[n], tx)
+		}
+	}
+	return waves, nil
+}
+
+// e23Platform builds a standalone node with the E23 contract registered
+// and the given lane count.
+func e23Platform(cfg E23Config, shards int) (*platform.Platform, error) {
+	pcfg := platform.DefaultConfig()
+	pcfg.MaxTxsPerBlock = cfg.MaxTxsPerBlock
+	pcfg.Shards = shards
+	p, err := platform.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Engine().Register(e23Contract{workRounds: cfg.WorkRounds}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// RunE23 sweeps the shard-lane commit scheduler: for every lane count ×
+// cross-shard fraction it drives the full standalone commit path
+// (mempool batch → execute → state root → append → publish) and checks
+// the resulting state root byte-for-byte against a serial-execution twin
+// fed the identical committed blocks.
+//
+// wall_speedup compares against the S=1 serial lane at the same
+// cross-shard fraction and is bounded by physical cores (1.0x on a
+// single-core host); modeled_speedup is the scheduler's critical path in
+// execution units — speculation (txs/S) plus the deepest per-lane
+// re-execution chain plus serial barrier re-executions — i.e. the
+// speedup the schedule achieves when cores >= S.
+func RunE23(cfg E23Config) (*Table, error) {
+	t := &Table{
+		ID:     "E23",
+		Title:  "Sharded execution lanes: commit throughput vs shard count and cross-shard fraction",
+		Claim:  "partitioned execution lanes scale per-node commit throughput with core count while keeping state roots byte-identical to serial execution",
+		Header: []string{"shards", "cross_pct", "txs", "wall_ms", "tx_per_s", "wall_speedup", "modeled_speedup", "cross_txs", "reexecuted", "wave_aborts", "root_match"},
+	}
+	pairs := e23CrossPairs(cfg.CrossPairs, cfg.Shards)
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("e23: no cross-shard key pairs found")
+	}
+	for _, crossPct := range cfg.CrossPcts {
+		baselineWall := time.Duration(0)
+		for _, shards := range cfg.Shards {
+			waves, err := e23Waves(cfg, crossPct, pairs)
+			if err != nil {
+				return nil, err
+			}
+			p, err := e23Platform(cfg, shards)
+			if err != nil {
+				return nil, err
+			}
+			// Submit wave by wave (admission signatures outside the timed
+			// window) and time only the commit path: batch → execute →
+			// state root → append → publish.
+			var blocks []*ledger.Block
+			totalTxs := 0
+			var wall time.Duration
+			for _, wave := range waves {
+				for _, tx := range wave {
+					if err := p.Submit(tx); err != nil {
+						return nil, fmt.Errorf("e23: submit: %w", err)
+					}
+				}
+				totalTxs += len(wave)
+				start := time.Now()
+				for {
+					blk, _, err := p.Commit()
+					if err != nil {
+						return nil, fmt.Errorf("e23: commit: %w", err)
+					}
+					if blk == nil {
+						break
+					}
+					blocks = append(blocks, blk)
+				}
+				wall += time.Since(start)
+			}
+
+			// Serial twin: execute the exact committed blocks through the
+			// serial engine and require byte-identical state roots — the
+			// replica-equivalence claim, per sweep cell.
+			twin, err := e23Platform(cfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			for _, blk := range blocks {
+				if err := twin.ApplyExternalBlock(blk); err != nil {
+					return nil, fmt.Errorf("e23: twin apply: %w", err)
+				}
+			}
+			laneRoot, err := p.Engine().StateRoot()
+			if err != nil {
+				return nil, err
+			}
+			serialRoot, err := twin.Engine().StateRoot()
+			if err != nil {
+				return nil, err
+			}
+			if laneRoot != serialRoot {
+				return nil, fmt.Errorf("e23: shards=%d cross=%d%%: sharded root %s diverges from serial %s",
+					shards, crossPct, laneRoot.String(), serialRoot.String())
+			}
+
+			es := p.ExecStats()
+			if es.Txs != totalTxs {
+				return nil, fmt.Errorf("e23: executed %d of %d txs", es.Txs, totalTxs)
+			}
+			if shards == 1 {
+				baselineWall = wall
+			}
+			laneReexecs := 0
+			for _, n := range es.LaneReexecs {
+				laneReexecs += n
+			}
+			barrierReexecs := es.Conflicts - laneReexecs
+			modeled := 1.0
+			if shards > 1 {
+				critical := float64(es.Txs)/float64(shards) + float64(es.MaxLaneReexecSum) + float64(barrierReexecs)
+				modeled = float64(es.Txs) / critical
+			}
+			wallSpeedup := 1.0
+			if baselineWall > 0 && wall > 0 {
+				wallSpeedup = float64(baselineWall) / float64(wall)
+			}
+			t.AddRow(d(shards), d(crossPct), d(es.Txs),
+				f1(float64(wall.Microseconds())/1000),
+				f1(float64(es.Txs)/wall.Seconds()),
+				f3(wallSpeedup),
+				f3(modeled),
+				d(es.CrossShardTxs),
+				d(es.Conflicts),
+				d(es.WaveAborts),
+				"yes")
+		}
+	}
+	return t, nil
+}
